@@ -1,0 +1,165 @@
+// Command ghostbench regenerates the paper's tables and figures:
+//
+//	ghostbench -experiment fig3     # motivation: Camel forms (figure 3)
+//	ghostbench -experiment table1   # input datasets (table 1)
+//	ghostbench -experiment fig6     # idle-server speedups (figure 6)
+//	ghostbench -experiment fig7     # idle-server energy savings (figure 7)
+//	ghostbench -experiment fig8     # busy-server speedups (figure 8)
+//	ghostbench -experiment fig9     # multi-core scaling (figure 9)
+//	ghostbench -experiment fig10a   # inter-thread distance, long trace
+//	ghostbench -experiment fig10b   # inter-thread distance, short window
+//
+// Use -csv for machine-readable output and -workloads to restrict the
+// evaluation set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostthread/internal/harness"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | report")
+		sweepWl    = flag.String("sweep-workload", "camel", "workload for -experiment sweep")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut    = flag.Bool("json", false, "emit JSON (fig6/fig8)")
+		gnuplot    = flag.Bool("gnuplot", false, "emit a gnuplot script (fig6/fig8)")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		workSet    = flag.String("workloads", "", "comma-separated workload subset (default: the full 34)")
+	)
+	flag.Parse()
+
+	names := workloads.AllWorkloadNames()
+	if *workSet != "" {
+		names = strings.Split(*workSet, ",")
+	}
+	progress := func(w string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s...\n", w)
+		}
+	}
+
+	switch *experiment {
+	case "fig3":
+		data, err := harness.Figure3(sim.DefaultConfig())
+		check(err)
+		fmt.Println("Figure 3: speedup over baseline for the three Camel forms")
+		fmt.Print(harness.RenderFigure3(data))
+
+	case "table1":
+		fmt.Println("Table 1: input datasets for profiling and evaluation")
+		fmt.Print(harness.Table1())
+
+	case "fig6", "fig7":
+		m, err := harness.RunMatrix(names, "idle", sim.DefaultConfig(), progress)
+		check(err)
+		if *experiment == "fig6" {
+			switch {
+			case *jsonOut:
+				out, err := m.JSON()
+				check(err)
+				fmt.Print(out)
+			case *gnuplot:
+				fmt.Print(m.GnuplotScript("fig6", "Figure 6: idle-server speedups"))
+			case *csv:
+				fmt.Println("Figure 6: single-core speedups on the idle server ('*' = ghost threads selected)")
+				fmt.Print(m.CSV())
+			default:
+				fmt.Println("Figure 6: single-core speedups on the idle server ('*' = ghost threads selected)")
+				fmt.Print(m.RenderSpeedups())
+			}
+		} else {
+			fmt.Println("Figure 7: package energy savings on the idle server")
+			fmt.Print(m.RenderEnergy())
+		}
+
+	case "fig8":
+		m, err := harness.RunMatrix(names, "busy", sim.BusyConfig(), progress)
+		check(err)
+		switch {
+		case *jsonOut:
+			out, err := m.JSON()
+			check(err)
+			fmt.Print(out)
+		case *gnuplot:
+			fmt.Print(m.GnuplotScript("fig8", "Figure 8: busy-server speedups"))
+		case *csv:
+			fmt.Println("Figure 8: single-core speedups on the busy server (21 GB/s-equivalent pressure)")
+			fmt.Print(m.CSV())
+		default:
+			fmt.Println("Figure 8: single-core speedups on the busy server (21 GB/s-equivalent pressure)")
+			fmt.Print(m.RenderSpeedups())
+		}
+
+	case "fig9":
+		res, err := harness.Figure9(progress)
+		check(err)
+		fmt.Println("Figure 9: multi-core scaling (geomean speedup over the parallel baseline)")
+		fmt.Print(harness.RenderFigure9(res))
+
+	case "fig10a":
+		fmt.Println("Figure 10(a): inter-thread distance on cc.urand, with vs without synchronization")
+		with, err := harness.Figure10(true, 20_000, 400)
+		check(err)
+		without, err := harness.Figure10(false, 20_000, 400)
+		check(err)
+		mi, ma, mean := harness.Fig10Summary(with)
+		fmt.Printf("with sync:    min=%d max=%d mean=%.0f over %d samples\n", mi, ma, mean, len(with))
+		mi, ma, mean = harness.Fig10Summary(without)
+		fmt.Printf("without sync: min=%d max=%d mean=%.0f over %d samples\n", mi, ma, mean, len(without))
+		switch {
+		case *gnuplot:
+			fmt.Print(harness.GnuplotDistance("fig10a", "Figure 10(a): inter-thread distance", with, without))
+		case *csv:
+			fmt.Println("-- with sync --")
+			fmt.Print(harness.RenderFigure10(with))
+			fmt.Println("-- without sync --")
+			fmt.Print(harness.RenderFigure10(without))
+		}
+
+	case "fig10b":
+		fmt.Println("Figure 10(b): inter-thread distance with synchronization, fine-grained window")
+		with, err := harness.Figure10(true, 2_000, 500)
+		check(err)
+		mi, ma, mean := harness.Fig10Summary(with)
+		fmt.Printf("with sync: min=%d max=%d mean=%.0f over %d samples\n", mi, ma, mean, len(with))
+		if *csv {
+			fmt.Print(harness.RenderFigure10(with))
+		} else {
+			fmt.Print(harness.AsciiPlot(with, 40, 60))
+		}
+
+	case "sweep":
+		pts, err := harness.SweepSync(*sweepWl, sim.DefaultConfig())
+		check(err)
+		fmt.Print(harness.RenderSweep(*sweepWl, pts))
+
+	case "report":
+		// The full evaluation as one markdown document (EXPERIMENTS.md's
+		// generator). Takes tens of minutes.
+		doc, err := harness.Report(func(s string) {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr, s)
+			}
+		})
+		check(err)
+		fmt.Print(doc)
+
+	default:
+		check(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghostbench:", err)
+		os.Exit(1)
+	}
+}

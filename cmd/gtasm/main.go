@@ -1,0 +1,80 @@
+// Command gtasm dumps, validates, and executes IR programs in the
+// textual assembly format (isa.Dump / isa.Parse):
+//
+//	gtasm -workload camel -variant ghost            # dump main + helpers
+//	gtasm -run prog.s -mem 65536                    # assemble and run a file
+//	gtasm -run prog.s -timed                        # ... on the cycle-level core
+//
+// The dump format round-trips: gtasm -workload X | gtasm -run /dev/stdin
+// works for programs whose data layout is self-contained.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "dump this workload's programs")
+		variant  = flag.String("variant", "baseline", "variant to dump")
+		runFile  = flag.String("run", "", "assemble and execute this file")
+		memWords = flag.Int64("mem", 1<<20, "memory size in words for -run")
+		timed    = flag.Bool("timed", false, "run on the cycle-level core instead of the interpreter")
+	)
+	flag.Parse()
+
+	switch {
+	case *workload != "":
+		build, err := workloads.Lookup(*workload)
+		fatalIf(err)
+		inst := build(workloads.ProfileOptions())
+		v := inst.VariantByName(*variant)
+		if v == nil {
+			fatalIf(fmt.Errorf("workload %s has no %q variant", *workload, *variant))
+		}
+		fmt.Print(isa.Dump(v.Main))
+		for _, h := range v.Helpers {
+			fmt.Println()
+			fmt.Print(isa.Dump(h))
+		}
+
+	case *runFile != "":
+		text, err := os.ReadFile(*runFile)
+		fatalIf(err)
+		// The first program is the main, the rest are helpers.
+		progs, err := isa.ParseAll(string(text))
+		fatalIf(err)
+		m := mem.New(*memWords)
+		main, helpers := progs[0], progs[1:]
+		if *timed {
+			res, err := sim.RunProgram(sim.DefaultConfig(), m, main, helpers)
+			fatalIf(err)
+			fmt.Printf("cycles=%d committed=%d ipc=%.2f serializes=%d prefetches=%d\n",
+				res.Cycles, res.Committed, float64(res.Committed)/float64(res.Cycles),
+				res.Serializes, res.Prefetches)
+		} else {
+			res, err := isa.Interp(main, m, helpers, 1<<40)
+			fatalIf(err)
+			fmt.Printf("steps=%d serializes=%d prefetches=%d halted=%v\n",
+				res.Steps, res.Serializes, res.Prefetches, res.Halted)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtasm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Command gtprof is the reproduction's OptiWISE stand-in: it profiles a
+// workload's baseline on the simulated machine and reports per-instruction
+// CPI, loop metrics, and the target loads the Ghost Threading heuristic
+// selects (paper §4.1).
+//
+//	gtprof -workload bfs.kron
+//	gtprof -workload camel -scale eval -busy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/profile"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "camel", "workload name")
+		scale    = flag.String("scale", "profile", "profile | eval (the paper profiles on reduced inputs)")
+		busy     = flag.Bool("busy", false, "profile under busy-server bandwidth pressure")
+		paperHP  = flag.Bool("paper-thresholds", false, "use the paper's x86 thresholds instead of the IR-calibrated ones")
+	)
+	flag.Parse()
+
+	build, err := workloads.Lookup(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	opts := workloads.ProfileOptions()
+	if *scale == "eval" {
+		opts = workloads.DefaultOptions()
+	}
+	cfg := sim.DefaultConfig()
+	if *busy {
+		cfg = sim.BusyConfig()
+	}
+
+	inst := build(opts)
+	rep, err := profile.Run(cfg, inst.Mem, inst.Baseline.Main, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		fatal(fmt.Errorf("profiling run corrupted results: %w", err))
+	}
+	fmt.Print(rep.String())
+
+	hp := core.DefaultHeuristicParams()
+	if *paperHP {
+		hp = core.PaperHeuristicParams()
+	}
+	targets := core.SelectTargets(rep, hp)
+	decision := core.Decide(targets, inst.Ghost != nil, inst.Parallel != nil)
+	fmt.Println("heuristic selection:")
+	fmt.Print(core.DescribeTargets(rep, targets))
+	fmt.Printf("decision: %s\n", decision)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtprof:", err)
+	os.Exit(1)
+}

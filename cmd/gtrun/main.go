@@ -1,0 +1,82 @@
+// Command gtrun runs one workload × technique variant on the simulated
+// machine and prints cycle counts, cache behaviour, and the correctness
+// check — the smallest way to poke at the system:
+//
+//	gtrun -workload camel -variant ghost
+//	gtrun -workload hj8 -variant swpf -busy
+//	gtrun -workload bfs.kron -variant baseline -scale profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "camel", "workload name (see -list)")
+		variant  = flag.String("variant", "baseline", "baseline | swpf | smt-openmp | ghost")
+		scale    = flag.String("scale", "eval", "eval | profile")
+		busy     = flag.Bool("busy", false, "add busy-server memory bandwidth pressure")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+
+	build, err := workloads.Lookup(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	opts := workloads.DefaultOptions()
+	if *scale == "profile" {
+		opts = workloads.ProfileOptions()
+	}
+	inst := build(opts)
+	v := inst.VariantByName(*variant)
+	if v == nil {
+		fatal(fmt.Errorf("workload %s has no %q variant", inst.Name, *variant))
+	}
+
+	cfg := sim.DefaultConfig()
+	if *busy {
+		cfg = sim.BusyConfig()
+	}
+	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
+	if err != nil {
+		fatal(err)
+	}
+	status := "ok"
+	if err := inst.Check(inst.Mem); err != nil {
+		status = "FAILED: " + err.Error()
+	}
+
+	fmt.Printf("workload    %s (%s scale)\n", inst.Name, *scale)
+	fmt.Printf("variant     %s\n", *variant)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("committed   %d (ipc %.2f, main-thread %d)\n",
+		res.Committed, float64(res.Committed)/float64(res.Cycles), res.MainCommitted)
+	fmt.Printf("loads       L1 %d | L2 %d | LLC %d | DRAM %d\n",
+		res.LoadLevel[0], res.LoadLevel[1], res.LoadLevel[2], res.LoadLevel[3])
+	fmt.Printf("prefetches  %d (L1 %d | L2 %d | LLC %d | DRAM %d)\n", res.Prefetches,
+		res.PrefetchLevel[0], res.PrefetchLevel[1], res.PrefetchLevel[2], res.PrefetchLevel[3])
+	fmt.Printf("serializes  %d   spawns %d   dram-lines %d\n",
+		res.Serializes, res.Spawns, res.DRAMTransfers)
+	fmt.Printf("check       %s\n", status)
+	if status != "ok" {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command gttrace samples pipeline occupancy while a workload runs and
+// renders a timeline: per-context ROB occupancy, shared MSHR usage, and
+// serialize-throttle state — the dynamics behind the paper's figure 2
+// (full-window stalls) and figure 10 (ghost throttling), live.
+//
+//	gttrace -workload camel -variant ghost
+//	gttrace -workload bfs.urand -variant baseline -every 2000 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostthread/internal/cpu"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "camel", "workload name")
+		variant  = flag.String("variant", "ghost", "variant to trace")
+		every    = flag.Int64("every", 5000, "sampling period in cycles")
+		rows     = flag.Int("rows", 60, "timeline rows to print")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the timeline")
+	)
+	flag.Parse()
+
+	build, err := workloads.Lookup(*workload)
+	fatalIf(err)
+	inst := build(workloads.ProfileOptions())
+	v := inst.VariantByName(*variant)
+	if v == nil {
+		fatalIf(fmt.Errorf("workload %s has no %q variant", *workload, *variant))
+	}
+
+	// Drive a single core directly so sampling can read its state.
+	s := sim.New(sim.DefaultConfig(), inst.Mem)
+	s.Load(0, v.Main, v.Helpers)
+	core0 := s.Core(0)
+	var samples []cpu.PipelineSample
+	for step := int64(1); core0.Step(); step++ {
+		if step%*every == 0 {
+			samples = append(samples, core0.Sample())
+		}
+	}
+	fatalIf(core0.Err())
+	if err := inst.CheckFor(*variant)(inst.Mem); err != nil {
+		fatalIf(fmt.Errorf("result check: %w", err))
+	}
+
+	if *csv {
+		fmt.Println("cycle,rob0,rob1,lq0,lq1,mshr,ser0,ser1")
+		for _, p := range samples {
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%v,%v\n",
+				p.Cycle, p.ROB[0], p.ROB[1], p.LQ[0], p.LQ[1], p.MSHRs,
+				p.SerializeBlocked[0], p.SerializeBlocked[1])
+		}
+		return
+	}
+
+	fmt.Printf("pipeline timeline of %s/%s (sampled every %d cycles; %d samples)\n",
+		inst.Name, *variant, *every, len(samples))
+	fmt.Println("         cycle  ROB main (#) / ghost (+)                       MSHR  ser")
+	step := len(samples) / *rows
+	if step < 1 {
+		step = 1
+	}
+	robCap := cpu.DefaultConfig().ROBSize
+	for i := 0; i < len(samples); i += step {
+		p := samples[i]
+		w0 := p.ROB[0] * 40 / robCap
+		w1 := p.ROB[1] * 40 / robCap
+		bar := strings.Repeat("#", w0) + strings.Repeat("+", w1)
+		if len(bar) > 46 {
+			bar = bar[:46]
+		}
+		ser := " "
+		if p.SerializeBlocked[1] {
+			ser = "S"
+		}
+		fmt.Printf("%14d  %-46s %4d   %s\n", p.Cycle, bar, p.MSHRs, ser)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gttrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package ghostthread is a reproduction of "Ghost Threading:
+// Helper-Thread Prefetching for Real Systems" (MICRO 2025) as a Go
+// library: a cycle-level SMT out-of-order core simulator
+// (internal/cpu, internal/cache, internal/mem, internal/sim), the Ghost
+// Threading mechanism itself — serialize-based inter-thread
+// synchronization and the target-selection heuristic (internal/core), the
+// automatic compiler extraction pass (internal/slice), the full benchmark
+// suite in IR (internal/workloads), the OptiWISE-style profiler
+// (internal/profile), and an experiment harness regenerating every table
+// and figure of the paper's evaluation (internal/harness, cmd/ghostbench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// hardware-substitution rationale, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Figure6 -benchtime=1x .
+package ghostthread

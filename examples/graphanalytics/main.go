@@ -1,0 +1,57 @@
+// Graph analytics walkthrough: run the full Ghost Threading deployment
+// pipeline (paper §4-5) on breadth-first search over a Kronecker graph —
+// profile on a reduced input, select target loads with the heuristic,
+// decide ghost-vs-OpenMP, then compare all techniques on the evaluation
+// input, including the automatic compiler extraction.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/harness"
+	"ghostthread/internal/profile"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	const workload = "bfs.kron"
+	cfg := sim.DefaultConfig()
+
+	// Step 1: profile the baseline on the reduced input (table 1).
+	build, err := workloads.Lookup(workload)
+	must(err)
+	pinst := build(workloads.ProfileOptions())
+	rep, err := profile.Run(cfg, pinst.Mem, pinst.Baseline.Main, nil)
+	must(err)
+	fmt.Println("== profiling (reduced input) ==")
+	fmt.Print(rep.String())
+
+	// Step 2: the selection heuristic (paper §4.1).
+	targets := core.SelectTargets(rep, core.DefaultHeuristicParams())
+	fmt.Println("== heuristic ==")
+	fmt.Print(core.DescribeTargets(rep, targets))
+
+	// Step 3-4: the full evaluation (idle server).
+	row, err := harness.Eval(workload, cfg, core.DefaultHeuristicParams())
+	must(err)
+	fmt.Println("== evaluation (full input) ==")
+	fmt.Printf("decision: %s\n", row.Decision)
+	for _, tech := range harness.Techniques {
+		if v, ok := row.Speedup[tech]; ok {
+			fmt.Printf("%-18s %.2fx speedup, %+.1f%% package energy\n",
+				tech, v, -100*row.EnergySaving[tech])
+		} else {
+			fmt.Printf("%-18s x (%s)\n", tech, row.Unavailable[tech])
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

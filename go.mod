@@ -1,0 +1,3 @@
+module ghostthread
+
+go 1.22

@@ -1,0 +1,426 @@
+// Package cache models the simulated core's cache hierarchy: per-core L1
+// and L2, a shared last-level cache, and the path to the memory
+// controller. Lines carry a readyAt timestamp so that in-flight fills,
+// late prefetches ("data arrives after the demand load wanted it") and
+// early prefetches ("line evicted before use" — cache pollution) all fall
+// out of the model naturally, which is what the paper's timeliness
+// argument (§4.3) is about.
+package cache
+
+import (
+	"fmt"
+
+	"ghostthread/internal/mem"
+)
+
+// lineShift converts a word address to a line number.
+const lineShift = 3 // 8 words = 64 bytes
+
+// LineOf returns the cache-line number of a word address.
+func LineOf(addr int64) int64 { return addr >> lineShift }
+
+// Config sizes one cache level.
+type Config struct {
+	SizeWords int64 // total capacity in words
+	Ways      int   // associativity
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int64 {
+	lines := c.SizeWords / mem.LineWords
+	sets := lines / int64(c.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	return sets
+}
+
+// Cache is one set-associative, LRU level. The zero value is unusable;
+// construct with New.
+type Cache struct {
+	name    string
+	sets    int64
+	ways    int
+	tags    []int64 // sets*ways entries; -1 = invalid
+	readyAt []int64 // fill-completion cycle per entry
+	lastUse []int64 // LRU timestamp per entry
+	hwPf    []bool  // line was brought in by the hardware prefetcher and
+	// not yet demand-touched (tagged-prefetch trigger bit)
+
+	Hits         int64 // hits on resident, filled lines
+	InFlightHits int64 // hits on lines still being filled (MSHR merge)
+	Misses       int64
+}
+
+// New builds a cache level. Sizes that are not an exact multiple of
+// ways*linewords are rounded down to one.
+func New(name string, cfg Config) *Cache {
+	sets := cfg.Sets()
+	n := sets * int64(cfg.Ways)
+	c := &Cache{name: name, sets: sets, ways: cfg.Ways,
+		tags: make([]int64, n), readyAt: make([]int64, n), lastUse: make([]int64, n),
+		hwPf: make([]bool, n)}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Name returns the level's label (for stats rendering).
+func (c *Cache) Name() string { return c.name }
+
+// Reset invalidates all lines and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.readyAt[i] = 0
+		c.lastUse[i] = 0
+		c.hwPf[i] = false
+	}
+	c.Hits, c.InFlightHits, c.Misses = 0, 0, 0
+}
+
+// lookup probes for line; on hit it refreshes LRU state and returns the
+// fill-ready cycle.
+func (c *Cache) lookup(line, now int64) (readyAt int64, hit bool) {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			c.lastUse[i] = now
+			if c.readyAt[i] > now {
+				c.InFlightHits++
+			} else {
+				c.Hits++
+			}
+			return c.readyAt[i], true
+		}
+	}
+	c.Misses++
+	return 0, false
+}
+
+// install places line with the given fill time, evicting the LRU way.
+func (c *Cache) install(line, fillAt, now int64) {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	victim := base
+	oldest := int64(1<<62 - 1)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == -1 {
+			victim = i
+			break
+		}
+		if c.lastUse[i] < oldest {
+			oldest = c.lastUse[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.readyAt[victim] = fillAt
+	c.lastUse[victim] = now
+	c.hwPf[victim] = false
+}
+
+// installPrefetched is install with the tagged-prefetch trigger bit set.
+func (c *Cache) installPrefetched(line, fillAt, now int64) {
+	c.install(line, fillAt, now)
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			c.hwPf[i] = true
+			return
+		}
+	}
+}
+
+// touchPrefetchBit reports and clears the trigger bit for a resident line
+// (first demand touch of a hardware-prefetched line extends the stream).
+func (c *Cache) touchPrefetchBit(line int64) bool {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line && c.hwPf[i] {
+			c.hwPf[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// peekReady returns the fill-ready cycle for a resident line without
+// touching replacement or counter state.
+func (c *Cache) peekReady(line int64) (readyAt int64, resident bool) {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			return c.readyAt[i], true
+		}
+	}
+	return 0, false
+}
+
+// peek probes for line without touching replacement or counter state.
+// It reports residency and, when resident, whether the fill has landed.
+func (c *Cache) peek(line, now int64) (resident, filled bool) {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			return true, c.readyAt[i] <= now
+		}
+	}
+	return false, false
+}
+
+// Contains reports (for tests) whether line is resident and filled at now.
+func (c *Cache) Contains(line, now int64) bool {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			return c.readyAt[i] <= now
+		}
+	}
+	return false
+}
+
+// Level identifies where an access was satisfied.
+type Level int
+
+// Levels, ordered by distance from the core.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelDRAM
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// HierarchyConfig sizes a core's view of the hierarchy. LLC and the
+// memory controller may be shared between cores (multi-core runs pass the
+// same instances to every core's Hierarchy).
+type HierarchyConfig struct {
+	L1     Config
+	L2     Config
+	L1Lat  int64 // total load-to-use latency on an L1 hit
+	L2Lat  int64 // total latency on an L2 hit
+	LLCLat int64 // total latency on an LLC hit
+
+	// HWPrefetch enables the tagged streaming hardware prefetcher: a
+	// demand miss (or the first demand touch of a prefetched line)
+	// triggers fills of the next PrefetchDegree lines. This is the
+	// stand-in for the stride/stream prefetchers of real Intel cores —
+	// without it, sequential scans (index arrays, CSR adjacency lists)
+	// would pay full DRAM latency every 8 words, which no real machine
+	// running these benchmarks does.
+	HWPrefetch bool
+	// PrefetchDegree is how many lines ahead the streamer fills per
+	// trigger (Intel's L2 streamer runs up to 20 lines ahead).
+	PrefetchDegree int64
+}
+
+// DefaultHierarchyConfig returns the scaled-down hierarchy the evaluation
+// uses (inputs are scaled ~2^10 from the paper's, and caches scale with
+// them; see DESIGN.md §7).
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:             Config{SizeWords: 8 * 1024 / mem.WordBytes, Ways: 8},  // 8 KiB (128 lines)
+		L2:             Config{SizeWords: 16 * 1024 / mem.WordBytes, Ways: 8}, // 16 KiB
+		L1Lat:          4,
+		L2Lat:          14,
+		LLCLat:         44,
+		HWPrefetch:     true,
+		PrefetchDegree: 8,
+	}
+}
+
+// DefaultLLCConfig returns the shared LLC configuration (per system).
+// Sized so the evaluation-scale working sets (graph property arrays, hash
+// tables, value arrays) exceed it by the same ratio the paper's inputs
+// exceed the i7-12700's 25 MiB LLC.
+func DefaultLLCConfig() Config {
+	return Config{SizeWords: 32 * 1024 / mem.WordBytes, Ways: 8} // 32 KiB
+}
+
+// Hierarchy is one core's access path: private L1/L2, shared LLC, shared
+// memory controller.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1  *Cache
+	L2  *Cache
+	LLC *Cache
+	MC  *mem.Controller
+
+	// HWPrefetches counts next-line fills issued by the hardware
+	// prefetcher.
+	HWPrefetches int64
+
+	// streams is the streamer's training table: an entry is confirmed
+	// (and starts prefetching) only when a second miss lands on the line
+	// it predicted, so random misses never trigger junk fills.
+	streams   [32]streamEntry
+	streamPtr int
+}
+
+type streamEntry struct {
+	nextLine int64
+	valid    bool
+}
+
+// NewHierarchy builds the private levels and wires the shared ones.
+func NewHierarchy(cfg HierarchyConfig, llc *Cache, mc *mem.Controller) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		L1:  New("L1", cfg.L1),
+		L2:  New("L2", cfg.L2),
+		LLC: llc,
+		MC:  mc,
+	}
+}
+
+// AccessResult describes the timing outcome of one memory access.
+type AccessResult struct {
+	CompleteAt int64 // cycle the data is usable by the core
+	Level      Level // where the access was satisfied
+	NewMiss    bool  // true when a new L1 MSHR was allocated (L1 missed and no in-flight fill matched)
+}
+
+// Access performs a demand access (load, store RFO, atomic, or prefetch)
+// to word address addr at cycle now. It updates replacement and fill state
+// immediately; timing is conveyed via CompleteAt.
+func (h *Hierarchy) Access(addr, now int64) AccessResult {
+	line := LineOf(addr)
+	if readyAt, hit := h.L1.lookup(line, now); hit {
+		if readyAt > now {
+			// Merged into the in-flight fill: an MSHR already exists.
+			return AccessResult{CompleteAt: readyAt, Level: LevelL1}
+		}
+		return AccessResult{CompleteAt: now + h.cfg.L1Lat, Level: LevelL1}
+	}
+	if readyAt, hit := h.L2.lookup(line, now); hit {
+		fill := max(now+h.cfg.L2Lat, readyAt)
+		h.L1.install(line, fill, now)
+		return AccessResult{CompleteAt: fill, Level: LevelL2, NewMiss: true}
+	}
+	if readyAt, hit := h.LLC.lookup(line, now); hit {
+		fill := max(now+h.cfg.LLCLat, readyAt)
+		h.L2.install(line, fill, now)
+		h.L1.install(line, fill, now)
+		return AccessResult{CompleteAt: fill, Level: LevelLLC, NewMiss: true}
+	}
+	fill := h.MC.Schedule(now + h.cfg.LLCLat)
+	h.LLC.install(line, fill, now)
+	h.L2.install(line, fill, now)
+	h.L1.install(line, fill, now)
+	return AccessResult{CompleteAt: fill, Level: LevelDRAM, NewMiss: true}
+}
+
+// DemandAccess is Access plus the hardware next-line prefetcher: demand
+// loads, stores, and atomics go through here; software prefetches use
+// Access directly and do not retrain the stream prefetcher.
+func (h *Hierarchy) DemandAccess(addr, now int64) AccessResult {
+	line := LineOf(addr)
+	res := h.Access(addr, now)
+	if h.cfg.HWPrefetch && res.Level != LevelL1 {
+		h.trainStreamer(line, now)
+	}
+	return res
+}
+
+// trainStreamer records an L1 demand miss. The first miss of a stream
+// allocates a tracker predicting the next line; once a miss confirms the
+// prediction, the streamer fills PrefetchDegree lines ahead into L2 and
+// the next line into L1, re-arming on every subsequent miss of the
+// stream. Random misses churn trackers but never prefetch.
+func (h *Hierarchy) trainStreamer(line, now int64) {
+	for i := range h.streams {
+		st := &h.streams[i]
+		if st.valid && st.nextLine == line {
+			st.nextLine = line + 1
+			h.hwFillL1(line+1, now)
+			deg := h.cfg.PrefetchDegree
+			for d := int64(2); d <= deg; d++ {
+				h.hwFillL2(line+d, now)
+			}
+			return
+		}
+	}
+	h.streams[h.streamPtr] = streamEntry{nextLine: line + 1, valid: true}
+	h.streamPtr = (h.streamPtr + 1) % len(h.streams)
+}
+
+// hwFillL1 brings line into L1 (the DCU next-line prefetcher),
+// consuming memory bandwidth when it has to go to DRAM.
+func (h *Hierarchy) hwFillL1(line, now int64) {
+	if resident, _ := h.L1.peek(line, now); resident {
+		return
+	}
+	fill := h.sourceFill(line, now)
+	h.L1.installPrefetched(line, fill, now)
+	h.HWPrefetches++
+}
+
+// hwFillL2 brings line into L2 (the L2 streamer).
+func (h *Hierarchy) hwFillL2(line, now int64) {
+	if resident, _ := h.L2.peek(line, now); resident {
+		return
+	}
+	fill := h.sourceFill(line, now)
+	h.L2.installPrefetched(line, fill, now)
+	h.HWPrefetches++
+}
+
+// sourceFill finds or starts a fill for line and returns its ready time,
+// installing into the levels between the source and L2.
+func (h *Hierarchy) sourceFill(line, now int64) int64 {
+	if ra, ok := h.L2.peekReady(line); ok {
+		return max(now+h.cfg.L2Lat, ra)
+	}
+	if ra, ok := h.LLC.peekReady(line); ok {
+		return max(now+h.cfg.LLCLat, ra)
+	}
+	fill := h.MC.Schedule(now + h.cfg.LLCLat)
+	h.LLC.install(line, fill, now)
+	return fill
+}
+
+// WouldMissL1 reports, without changing any cache state, whether an access
+// to addr at cycle now would need a new L1 MSHR (i.e. the line is not
+// resident in L1 at all — in-flight fills merge into the existing MSHR).
+func (h *Hierarchy) WouldMissL1(addr, now int64) bool {
+	resident, _ := h.L1.peek(LineOf(addr), now)
+	return !resident
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Reset clears the private levels (shared levels are reset by the system).
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/profile"
+	"ghostthread/internal/sim"
+)
+
+func TestSyncParamsValidate(t *testing.T) {
+	if err := DefaultSyncParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SyncParams{
+		{SyncFreq: 0, TooFar: 10, Close: 5, SkipStep: 1, MaxBackoff: 1},
+		{SyncFreq: 12, TooFar: 10, Close: 5, SkipStep: 1, MaxBackoff: 1}, // not a power of two
+		{SyncFreq: 16, TooFar: 5, Close: 10, SkipStep: 1, MaxBackoff: 1}, // Close >= TooFar
+		{SyncFreq: 16, TooFar: 10, Close: 5, SkipStep: 0, MaxBackoff: 1},
+		{SyncFreq: 16, TooFar: 10, Close: 5, SkipStep: 1, MaxBackoff: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+// buildSyncLoop emits a ghost-style loop of n iterations with the sync
+// segment, against a main counter held at mainVal.
+func buildSyncLoop(t *testing.T, params SyncParams, n, mainVal int64) (*isa.Program, *mem.Memory) {
+	t.Helper()
+	m := mem.New(256)
+	ctr := Counters{MainAddr: 16, GhostAddr: 17}
+	m.StoreWord(ctr.MainAddr, mainVal)
+	b := isa.NewBuilder("syncloop")
+	st := NewSync(b, params, ctr)
+	lo := b.Imm(0)
+	hi := b.Imm(n)
+	b.CountedLoop("l", lo, hi, func(i isa.Reg) {
+		EmitSync(b, st, func() {
+			b.AddI(i, i, st.Params.SkipStep)
+			AdvanceLocal(b, st, st.Params.SkipStep)
+		})
+	})
+	b.Halt()
+	return b.MustBuild(), m
+}
+
+func TestSyncThrottlesWhenFarAhead(t *testing.T) {
+	// Main stuck at 0: the ghost must serialize heavily.
+	params := DefaultSyncParams()
+	p, m := buildSyncLoop(t, params, 2000, 0)
+	res, err := sim.RunProgram(sim.DefaultConfig(), m, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serializes < 100 {
+		t.Errorf("ghost far ahead serialized only %d times", res.Serializes)
+	}
+}
+
+func TestSyncSkipsWhenBehind(t *testing.T) {
+	// Main "ahead" at 1<<40: the ghost must skip, finishing in far fewer
+	// than n iterations, and never serialize.
+	params := DefaultSyncParams()
+	p, m := buildSyncLoop(t, params, 1<<20, 1<<40)
+	res, err := sim.RunProgram(sim.DefaultConfig(), m, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serializes != 0 {
+		t.Errorf("ghost behind serialized %d times", res.Serializes)
+	}
+	// Skipping SkipStep per SyncFreq shrinks the executed iterations by
+	// roughly (SkipStep+SyncFreq)/SyncFreq = 3x: ~350k iterations of ~7
+	// instructions instead of ~7.3M committed without skipping.
+	if res.MainCommitted > 4_000_000 {
+		t.Errorf("ghost behind did not skip: committed %d instructions", res.MainCommitted)
+	}
+}
+
+func TestSyncSegmentFlagged(t *testing.T) {
+	params := DefaultSyncParams()
+	p, _ := buildSyncLoop(t, params, 10, 0)
+	var syncInstrs int
+	for i := range p.Code {
+		if p.Code[i].HasFlag(isa.FlagSync) {
+			syncInstrs++
+		}
+	}
+	if syncInstrs == 0 {
+		t.Error("no instructions flagged as sync segment")
+	}
+}
+
+// fakeReport builds a profile.Report by hand for heuristic unit tests.
+func fakeReport(loopSize float64, loadCPI float64, covTask float64) *profile.Report {
+	prog := &isa.Program{
+		Name: "fake",
+		Code: []isa.Instr{
+			{Op: isa.OpLoad, Loop: 0},
+			{Op: isa.OpJmp, Target: 0, Loop: 0},
+			{Op: isa.OpHalt, Loop: -1},
+		},
+		Loops: []isa.Loop{{ID: 0, Name: "l", Func: "f", Parent: -1, Head: 0, End: 2, Backedge: 1}},
+	}
+	total := int64(1_000_000)
+	stall := int64(covTask * float64(total))
+	execs := int64(1000)
+	if loadCPI > 0 {
+		execs = int64(float64(stall) / loadCPI)
+	}
+	r := &profile.Report{
+		Prog:        prog,
+		TotalCycles: total,
+		TotalStall:  stall,
+		Instrs: []profile.InstrStat{
+			{PC: 0, Op: isa.OpLoad, Executions: execs, StallCycles: stall, CPI: loadCPI, LoopID: 0},
+			{PC: 1, Op: isa.OpJmp, Executions: execs, LoopID: 0},
+			{PC: 2, Op: isa.OpHalt, Executions: 1, LoopID: -1},
+		},
+		Loops: []profile.LoopStat{{
+			Loop:        prog.Loops[0],
+			Iterations:  execs,
+			DynamicSize: loopSize,
+			StallCycles: stall,
+			LoadPCs:     []int{0},
+		}},
+		FuncStall: map[string]int64{"f": stall},
+	}
+	return r
+}
+
+func TestHeuristicSelectsQualifyingLoad(t *testing.T) {
+	hp := DefaultHeuristicParams()
+	ts := SelectTargets(fakeReport(20, hp.MinCPI*2, 0.5), hp)
+	if len(ts) != 1 {
+		t.Fatalf("got %d targets, want 1", len(ts))
+	}
+	if ts[0].LoadPC != 0 || ts[0].LoopID != 0 {
+		t.Errorf("wrong target: %+v", ts[0])
+	}
+}
+
+func TestHeuristicRejectsLowCPI(t *testing.T) {
+	hp := DefaultHeuristicParams()
+	if ts := SelectTargets(fakeReport(20, hp.MinCPI/2, 0.5), hp); len(ts) != 0 {
+		t.Errorf("low-CPI load selected: %+v", ts)
+	}
+}
+
+func TestHeuristicRejectsSmallLoop(t *testing.T) {
+	hp := DefaultHeuristicParams()
+	if ts := SelectTargets(fakeReport(hp.MinLoopSize/2, hp.MinCPI*2, 0.5), hp); len(ts) != 0 {
+		t.Errorf("small-loop load selected: %+v", ts)
+	}
+}
+
+func TestHeuristicRejectsLowCoverage(t *testing.T) {
+	hp := DefaultHeuristicParams()
+	r := fakeReport(20, hp.MinCPI*2, 0.01)
+	// Low task coverage AND low function coverage: the function has much
+	// more stall than this load.
+	r.FuncStall["f"] = r.TotalStall * 100
+	if ts := SelectTargets(r, hp); len(ts) != 0 {
+		t.Errorf("low-coverage load selected: %+v", ts)
+	}
+}
+
+func TestHeuristicFunctionCoverageAlternative(t *testing.T) {
+	// Task coverage below threshold but the load dominates its function:
+	// condition 3b accepts it (paper: "or 80% of its function").
+	hp := DefaultHeuristicParams()
+	r := fakeReport(20, hp.MinCPI*2, 0.05)
+	if ts := SelectTargets(r, hp); len(ts) != 1 {
+		t.Errorf("function-dominant load not selected: %+v", ts)
+	}
+}
+
+func TestDecide(t *testing.T) {
+	ts := []Target{{LoadPC: 0}}
+	cases := []struct {
+		targets          []Target
+		hasGhost, hasPar bool
+		want             Decision
+	}{
+		{ts, true, true, UseGhost},
+		{ts, true, false, UseGhost},
+		{nil, true, true, UseParallel},
+		{ts, false, true, UseParallel},
+		{nil, true, false, UseBaseline},
+		{nil, false, false, UseBaseline},
+	}
+	for i, c := range cases {
+		if got := Decide(c.targets, c.hasGhost, c.hasPar); got != c.want {
+			t.Errorf("case %d: Decide = %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestSyncParamsValidateProperty(t *testing.T) {
+	// Property: Validate accepts exactly the power-of-two frequencies
+	// with Close < TooFar and positive skip/backoff.
+	f := func(freqExp uint8, tooFar, closeD, skip, backoff int16) bool {
+		p := SyncParams{
+			SyncFreq:   1 << (freqExp % 12),
+			TooFar:     int64(tooFar),
+			Close:      int64(closeD),
+			SkipStep:   int64(skip),
+			MaxBackoff: int64(backoff),
+		}
+		valid := p.SyncFreq > 0 && p.Close < p.TooFar && p.SkipStep > 0 && p.MaxBackoff > 0
+		return (p.Validate() == nil) == valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

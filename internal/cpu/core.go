@@ -1,0 +1,731 @@
+package cpu
+
+import (
+	"fmt"
+
+	"ghostthread/internal/cache"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+)
+
+// entry states.
+const (
+	stWaiting   = iota // dispatched, operands outstanding
+	stReady            // operands available, awaiting an issue slot
+	stIssued           // executing
+	stDone             // execution complete, awaiting commit
+	stSerialize        // serialize: completes at the ROB head (drain)
+	stDirect           // spawn/join/halt/nop-like: completes without an issue slot
+)
+
+type robEntry struct {
+	pc         int32
+	op         isa.Op
+	flags      isa.Flag
+	state      uint8
+	notReady   int16
+	inLQ, inSQ bool
+	completeAt int64
+	addr       int64 // memory address (mem ops), computed at dispatch
+}
+
+// thread is one SMT hardware context.
+type thread struct {
+	id   int
+	gen  uint32
+	prog *isa.Program
+
+	active   bool
+	startAt  int64
+	halted   bool // halt dispatched
+	finished bool // halted and ROB drained
+
+	pc       int
+	regs     [isa.NumRegs]int64
+	producer [isa.NumRegs]int32 // ROB slot producing the register, -1 if value final
+
+	rob        []robEntry
+	deps       [][]int32 // per-slot wakeup lists (reused)
+	head, tail int
+	count      int
+
+	readyQ []int32
+
+	lq, sq            int
+	fetchBlockedUntil int64
+	serializeBlocked  bool
+	waitBranch        int32 // ROB slot of the unresolved hard branch stalling dispatch, or -1
+
+	// Per-run statistics.
+	committed     int64
+	serializes    int64
+	frontendStall int64 // cycles active with an empty ROB (fetch-blocked)
+	stallPC       []int64
+	execPC        []int64
+}
+
+func (t *thread) reset(prog *isa.Program, robSize int, startAt int64) {
+	t.gen++
+	t.prog = prog
+	t.active = prog != nil
+	t.startAt = startAt
+	t.halted = false
+	t.finished = false
+	t.pc = 0
+	for i := range t.producer {
+		t.producer[i] = -1
+	}
+	if cap(t.rob) < robSize {
+		t.rob = make([]robEntry, robSize)
+		t.deps = make([][]int32, robSize)
+	}
+	t.rob = t.rob[:robSize]
+	t.deps = t.deps[:robSize]
+	t.head, t.tail, t.count = 0, 0, 0
+	t.readyQ = t.readyQ[:0]
+	t.lq, t.sq = 0, 0
+	t.fetchBlockedUntil = 0
+	t.serializeBlocked = false
+	t.waitBranch = -1
+	t.committed = 0
+	t.serializes = 0
+	t.frontendStall = 0
+	if prog != nil {
+		t.stallPC = make([]int64, len(prog.Code))
+		t.execPC = make([]int64, len(prog.Code))
+	}
+}
+
+// Core is one physical core with two SMT contexts sharing a cache
+// hierarchy, issue bandwidth, and MSHRs.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	mem  *mem.Memory
+
+	helpers []*isa.Program
+	threads [2]thread
+	now     int64
+	events  eventHeap
+
+	mshrInUse int
+
+	// Statistics.
+	LoadLevel     [4]int64 // demand loads + atomics satisfied per level
+	PrefetchLevel [4]int64 // prefetches satisfied per level
+	Stores        int64
+	Prefetches    int64
+	Spawns        int64
+
+	// Accumulated per-context counters surviving helper re-spawns.
+	accCommitted  [2]int64
+	accSerializes [2]int64
+	accFrontend   [2]int64
+
+	err error
+}
+
+// New builds a core over the given hierarchy and memory.
+func New(cfg Config, hier *cache.Hierarchy, m *mem.Memory) *Core {
+	c := &Core{cfg: cfg, hier: hier, mem: m}
+	c.threads[0].id = 0
+	c.threads[1].id = 1
+	return c
+}
+
+// Load installs the main program on context 0 and records the helper
+// programs that OpSpawn can activate on context 1.
+func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
+	c.helpers = helpers
+	c.threads[0].reset(main, c.cfg.ROBSize, 0)
+	c.threads[1].reset(nil, c.cfg.ROBSize, 0)
+	c.accCommitted = [2]int64{}
+	c.accSerializes = [2]int64{}
+	c.accFrontend = [2]int64{}
+	c.now = 0
+	c.events.ev = c.events.ev[:0]
+	c.mshrInUse = 0
+	c.err = nil
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Err returns the first simulation error (bad program behaviour), if any.
+func (c *Core) Err() error { return c.err }
+
+// Done reports whether the main thread has finished (and any helper is
+// inactive or finished).
+func (c *Core) Done() bool {
+	if c.err != nil {
+		return true
+	}
+	t0, t1 := &c.threads[0], &c.threads[1]
+	return t0.finished && (!t1.active || t1.finished)
+}
+
+// smtActive reports whether both contexts are competing for resources.
+func (c *Core) smtActive() bool {
+	t1 := &c.threads[1]
+	return t1.active && !t1.finished
+}
+
+func (c *Core) robCap() int {
+	if c.smtActive() {
+		return c.cfg.ROBSize / 2
+	}
+	return c.cfg.ROBSize
+}
+
+func (c *Core) lqCap() int {
+	if c.smtActive() {
+		return c.cfg.LoadQ / 2
+	}
+	return c.cfg.LoadQ
+}
+
+func (c *Core) sqCap() int {
+	if c.smtActive() {
+		return c.cfg.StoreQ / 2
+	}
+	return c.cfg.StoreQ
+}
+
+// Step advances the core by one cycle: process completions, commit,
+// issue, then dispatch (reverse pipeline order). It returns false once
+// the core is done.
+func (c *Core) Step() bool {
+	if c.Done() {
+		return false
+	}
+	c.now++
+	c.processEvents()
+	for i := range c.threads {
+		c.commit(&c.threads[i])
+	}
+	c.issue()
+	c.dispatch()
+	return !c.Done()
+}
+
+// Run steps until completion or maxCycles, returning the cycle count.
+func (c *Core) Run(maxCycles int64) (int64, error) {
+	for c.Step() {
+		if c.now >= maxCycles {
+			return c.now, fmt.Errorf("cpu: %q exceeded %d cycles", c.threads[0].prog.Name, maxCycles)
+		}
+	}
+	return c.now, c.err
+}
+
+func (c *Core) processEvents() {
+	for {
+		at, ok := c.events.peekAt()
+		if !ok || at > c.now {
+			return
+		}
+		e := c.events.pop()
+		if e.kind == evMSHRRelease {
+			c.mshrInUse--
+			continue
+		}
+		t := &c.threads[e.thread]
+		if e.gen != t.gen {
+			continue // the thread was re-spawned/killed; stale completion
+		}
+		c.complete(t, e.idx)
+	}
+}
+
+// complete marks entry idx done and wakes its dependents.
+func (c *Core) complete(t *thread, idx int32) {
+	e := &t.rob[idx]
+	if e.state == stDone {
+		return
+	}
+	e.state = stDone
+	switch e.op {
+	case isa.OpLoad, isa.OpAtomicAdd, isa.OpPrefetch:
+		t.lq--
+	}
+	if e.op.HasDst() {
+		in := &t.prog.Code[e.pc]
+		if t.producer[in.Dst] == idx {
+			t.producer[in.Dst] = -1
+		}
+	}
+	for _, d := range t.deps[idx] {
+		de := &t.rob[d]
+		de.notReady--
+		if de.notReady == 0 && de.state == stWaiting {
+			de.state = stReady
+			t.readyQ = append(t.readyQ, d)
+		}
+	}
+	t.deps[idx] = t.deps[idx][:0]
+	if t.waitBranch == idx {
+		t.waitBranch = -1
+		bl := c.now + c.cfg.BranchPenalty
+		if bl > t.fetchBlockedUntil {
+			t.fetchBlockedUntil = bl
+		}
+	}
+}
+
+func (c *Core) commit(t *thread) {
+	if !t.active || t.finished {
+		return
+	}
+	if t.count == 0 {
+		if t.halted {
+			t.finished = true
+		} else if c.now >= t.startAt {
+			t.frontendStall++
+		}
+		return
+	}
+	for w := 0; w < c.cfg.CommitWidth && t.count > 0; w++ {
+		e := &t.rob[t.head]
+		if e.state == stSerialize {
+			if e.completeAt == 0 {
+				// The serialize has drained: all older instructions have
+				// committed. It now pays its microcode/restart cost.
+				e.completeAt = c.now + c.cfg.SerializeLat
+			}
+			if c.now < e.completeAt {
+				t.stallPC[e.pc]++
+				return
+			}
+			t.serializeBlocked = false
+			t.serializes++
+		} else if e.state != stDone {
+			if w == 0 {
+				t.stallPC[e.pc]++
+			}
+			return
+		}
+		if e.op == isa.OpStore {
+			t.sq--
+		}
+		t.execPC[e.pc]++
+		t.committed++
+		t.head = (t.head + 1) % len(t.rob)
+		t.count--
+	}
+	if t.count == 0 && t.halted {
+		t.finished = true
+	}
+}
+
+// issue picks ready instructions up to the shared issue width,
+// alternating thread priority each cycle.
+func (c *Core) issue() {
+	slots := c.cfg.IssueWidth
+	first := int(c.now & 1)
+	for k := 0; k < 2 && slots > 0; k++ {
+		t := &c.threads[(first+k)&1]
+		if !t.active || t.finished || len(t.readyQ) == 0 {
+			continue
+		}
+		q := t.readyQ
+		kept := q[:0]
+		for qi := 0; qi < len(q); qi++ {
+			idx := q[qi]
+			if slots == 0 {
+				kept = append(kept, idx)
+				continue
+			}
+			e := &t.rob[idx]
+			if !c.tryIssue(t, idx, e) {
+				kept = append(kept, idx) // structural hazard; retry next cycle
+				continue
+			}
+			slots--
+		}
+		t.readyQ = kept
+	}
+}
+
+// tryIssue begins execution of a ready entry; false means a structural
+// hazard (MSHRs full) blocked it.
+func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
+	var completeAt int64
+	switch e.op {
+	case isa.OpLoad, isa.OpAtomicAdd:
+		wouldMiss := c.hier.WouldMissL1(e.addr, c.now)
+		if wouldMiss && c.mshrInUse >= c.cfg.MSHRs {
+			return false
+		}
+		res := c.hier.DemandAccess(e.addr, c.now)
+		c.LoadLevel[res.Level]++
+		if res.NewMiss {
+			c.mshrInUse++
+			c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
+		}
+		completeAt = res.CompleteAt
+	case isa.OpPrefetch:
+		wouldMiss := c.hier.WouldMissL1(e.addr, c.now)
+		if wouldMiss && c.mshrInUse >= c.cfg.MSHRs {
+			return false
+		}
+		res := c.hier.Access(e.addr, c.now)
+		c.PrefetchLevel[res.Level]++
+		c.Prefetches++
+		if res.NewMiss {
+			c.mshrInUse++
+			c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
+		}
+		completeAt = c.now + 1 // fire-and-forget: retires without the fill
+	case isa.OpStore:
+		// The store buffer absorbs the store; the access still moves
+		// cache state and consumes bandwidth on a miss (RFO).
+		c.hier.DemandAccess(e.addr, c.now)
+		c.Stores++
+		completeAt = c.now + 1
+	case isa.OpMul:
+		completeAt = c.now + c.cfg.MulLat
+	case isa.OpDiv, isa.OpRem:
+		completeAt = c.now + c.cfg.DivLat
+	default:
+		completeAt = c.now + c.cfg.IntLat
+	}
+	e.state = stIssued
+	e.completeAt = completeAt
+	c.events.push(event{at: completeAt, thread: int8(t.id), kind: evComplete, gen: t.gen, idx: idx})
+	return true
+}
+
+// dispatch fetches, functionally executes, and inserts instructions into
+// the ROB, sharing FetchWidth between the threads.
+func (c *Core) dispatch() {
+	slots := c.cfg.FetchWidth
+	first := int(c.now & 1)
+	for k := 0; k < 2 && slots > 0; k++ {
+		t := &c.threads[(first+k)&1]
+		for slots > 0 && c.dispatchOne(t) {
+			slots--
+		}
+	}
+}
+
+func (c *Core) dispatchOne(t *thread) bool {
+	if !t.active || t.halted || t.finished || c.err != nil {
+		return false
+	}
+	if c.now < t.startAt || c.now < t.fetchBlockedUntil || t.serializeBlocked || t.waitBranch >= 0 {
+		return false
+	}
+	if t.count >= c.robCap() {
+		return false
+	}
+	if t.pc < 0 || t.pc >= len(t.prog.Code) {
+		c.err = fmt.Errorf("cpu: %q thread %d pc %d out of range", t.prog.Name, t.id, t.pc)
+		return false
+	}
+	in := &t.prog.Code[t.pc]
+
+	// Structural pre-checks that must hold before consuming the instruction.
+	switch in.Op {
+	case isa.OpLoad, isa.OpAtomicAdd, isa.OpPrefetch:
+		if t.lq >= c.lqCap() {
+			return false
+		}
+	case isa.OpStore:
+		if t.sq >= c.sqCap() {
+			return false
+		}
+	case isa.OpJoin:
+		if in.Imm == JoinWaitImm && c.smtActive() {
+			return false // wait for the worker to finish
+		}
+	case isa.OpSpawn:
+		if c.smtActive() {
+			c.err = fmt.Errorf("cpu: %q spawns helper while sibling context busy", t.prog.Name)
+			return false
+		}
+	}
+
+	idx := int32(t.tail)
+	e := &t.rob[idx]
+	*e = robEntry{pc: int32(t.pc), op: in.Op, flags: in.Flags}
+	t.deps[idx] = t.deps[idx][:0]
+
+	// Timing dependencies on source registers.
+	nsrc := in.Op.NumSrcs()
+	if nsrc >= 1 {
+		c.addDep(t, idx, e, in.Src1)
+	}
+	if nsrc >= 2 {
+		c.addDep(t, idx, e, in.Src2)
+	}
+
+	// Functional execution (execute-at-dispatch).
+	nextPC := t.pc + 1
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpConst:
+		t.regs[in.Dst] = in.Imm
+	case isa.OpMov:
+		t.regs[in.Dst] = t.regs[in.Src1]
+	case isa.OpAdd:
+		t.regs[in.Dst] = t.regs[in.Src1] + t.regs[in.Src2]
+	case isa.OpSub:
+		t.regs[in.Dst] = t.regs[in.Src1] - t.regs[in.Src2]
+	case isa.OpMul:
+		t.regs[in.Dst] = t.regs[in.Src1] * t.regs[in.Src2]
+	case isa.OpDiv:
+		if t.regs[in.Src2] == 0 {
+			t.regs[in.Dst] = 0
+		} else {
+			t.regs[in.Dst] = t.regs[in.Src1] / t.regs[in.Src2]
+		}
+	case isa.OpRem:
+		if t.regs[in.Src2] == 0 {
+			t.regs[in.Dst] = 0
+		} else {
+			t.regs[in.Dst] = t.regs[in.Src1] % t.regs[in.Src2]
+		}
+	case isa.OpAnd:
+		t.regs[in.Dst] = t.regs[in.Src1] & t.regs[in.Src2]
+	case isa.OpOr:
+		t.regs[in.Dst] = t.regs[in.Src1] | t.regs[in.Src2]
+	case isa.OpXor:
+		t.regs[in.Dst] = t.regs[in.Src1] ^ t.regs[in.Src2]
+	case isa.OpShl:
+		t.regs[in.Dst] = t.regs[in.Src1] << (uint64(t.regs[in.Src2]) & 63)
+	case isa.OpShr:
+		t.regs[in.Dst] = int64(uint64(t.regs[in.Src1]) >> (uint64(t.regs[in.Src2]) & 63))
+	case isa.OpMin:
+		t.regs[in.Dst] = min(t.regs[in.Src1], t.regs[in.Src2])
+	case isa.OpMax:
+		t.regs[in.Dst] = max(t.regs[in.Src1], t.regs[in.Src2])
+	case isa.OpAddI:
+		t.regs[in.Dst] = t.regs[in.Src1] + in.Imm
+	case isa.OpMulI:
+		t.regs[in.Dst] = t.regs[in.Src1] * in.Imm
+	case isa.OpAndI:
+		t.regs[in.Dst] = t.regs[in.Src1] & in.Imm
+	case isa.OpXorI:
+		t.regs[in.Dst] = t.regs[in.Src1] ^ in.Imm
+	case isa.OpShlI:
+		t.regs[in.Dst] = t.regs[in.Src1] << (uint64(in.Imm) & 63)
+	case isa.OpShrI:
+		t.regs[in.Dst] = int64(uint64(t.regs[in.Src1]) >> (uint64(in.Imm) & 63))
+	case isa.OpLoad:
+		e.addr = t.regs[in.Src1] + in.Imm
+		if e.addr < 0 || e.addr >= c.mem.Size() {
+			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: load at %d", t.prog.Name, t.id, t.pc, e.addr)
+			return false
+		}
+		t.regs[in.Dst] = c.mem.LoadWord(e.addr)
+		t.lq++
+	case isa.OpStore:
+		e.addr = t.regs[in.Src1] + in.Imm
+		if e.addr < 0 || e.addr >= c.mem.Size() {
+			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: store at %d", t.prog.Name, t.id, t.pc, e.addr)
+			return false
+		}
+		c.mem.StoreWord(e.addr, t.regs[in.Src2])
+		t.sq++
+	case isa.OpPrefetch:
+		// Prefetches to unmapped addresses are dropped, as on real
+		// hardware; clamp so the cache model sees a harmless line.
+		e.addr = t.regs[in.Src1] + in.Imm
+		if e.addr < 0 || e.addr >= c.mem.Size() {
+			e.addr = 0
+		}
+		t.lq++
+	case isa.OpAtomicAdd:
+		e.addr = t.regs[in.Src1] + in.Imm
+		if e.addr < 0 || e.addr >= c.mem.Size() {
+			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: atomic at %d", t.prog.Name, t.id, t.pc, e.addr)
+			return false
+		}
+		v := c.mem.LoadWord(e.addr) + t.regs[in.Src2]
+		c.mem.StoreWord(e.addr, v)
+		t.regs[in.Dst] = v
+		t.lq++
+	case isa.OpSerialize:
+		t.serializeBlocked = true
+		e.state = stSerialize
+	case isa.OpJmp:
+		nextPC = int(in.Target)
+	case isa.OpBEQ:
+		if t.regs[in.Src1] == t.regs[in.Src2] {
+			nextPC = int(in.Target)
+		}
+	case isa.OpBNE:
+		if t.regs[in.Src1] != t.regs[in.Src2] {
+			nextPC = int(in.Target)
+		}
+	case isa.OpBLT:
+		if t.regs[in.Src1] < t.regs[in.Src2] {
+			nextPC = int(in.Target)
+		}
+	case isa.OpBGE:
+		if t.regs[in.Src1] >= t.regs[in.Src2] {
+			nextPC = int(in.Target)
+		}
+	case isa.OpBLE:
+		if t.regs[in.Src1] <= t.regs[in.Src2] {
+			nextPC = int(in.Target)
+		}
+	case isa.OpBGT:
+		if t.regs[in.Src1] > t.regs[in.Src2] {
+			nextPC = int(in.Target)
+		}
+	case isa.OpSpawn:
+		hid := int(in.Imm)
+		if hid < 0 || hid >= len(c.helpers) || c.helpers[hid] == nil {
+			c.err = fmt.Errorf("cpu: %q spawns unknown helper %d", t.prog.Name, hid)
+			return false
+		}
+		c.accumulate(1)
+		c.threads[1].reset(c.helpers[hid], c.cfg.ROBSize, c.now+c.cfg.SpawnCostHelper)
+		// The helper inherits the spawning thread's register values (the
+		// closure the thread-start call captures); extracted ghost
+		// threads rely on this for their live-ins.
+		c.threads[1].regs = t.regs
+		c.Spawns++
+		bl := c.now + c.cfg.SpawnCostMain
+		if bl > t.fetchBlockedUntil {
+			t.fetchBlockedUntil = bl
+		}
+	case isa.OpJoin:
+		h := &c.threads[1]
+		if h.active && !h.finished {
+			// Deactivate: the helper is killed mid-flight (ghost threads
+			// modify no application state, so this is safe).
+			h.active = false
+			h.finished = true
+			h.gen++ // invalidate its in-flight completions
+		}
+		bl := c.now + c.cfg.JoinCost
+		if bl > t.fetchBlockedUntil {
+			t.fetchBlockedUntil = bl
+		}
+	case isa.OpHalt:
+		t.halted = true
+	default:
+		c.err = fmt.Errorf("cpu: %q pc %d: unimplemented op %s", t.prog.Name, t.pc, in.Op)
+		return false
+	}
+
+	// Hard branches stall dispatch until resolution.
+	if in.Op.IsCondBranch() && in.HasFlag(isa.FlagHardBranch) && e.notReady > 0 {
+		t.waitBranch = idx
+	}
+
+	// Claim the destination register for timing purposes.
+	if in.Op.HasDst() {
+		t.producer[in.Dst] = idx
+	}
+
+	// Entry scheduling.
+	switch in.Op {
+	case isa.OpSerialize:
+		// handled at the ROB head in commit.
+	case isa.OpSpawn, isa.OpJoin, isa.OpHalt:
+		e.state = stDirect
+		e.completeAt = c.now + 1
+		c.events.push(event{at: e.completeAt, thread: int8(t.id), kind: evComplete, gen: t.gen, idx: idx})
+	default:
+		if e.notReady == 0 {
+			e.state = stReady
+			t.readyQ = append(t.readyQ, idx)
+		} else {
+			e.state = stWaiting
+		}
+	}
+
+	t.tail = (t.tail + 1) % len(t.rob)
+	t.count++
+	t.pc = nextPC
+	return true
+}
+
+// addDep registers a timing dependency of entry idx on register r.
+func (c *Core) addDep(t *thread, idx int32, e *robEntry, r isa.Reg) {
+	p := t.producer[r]
+	if p < 0 {
+		return
+	}
+	pe := &t.rob[p]
+	if pe.state == stDone {
+		return
+	}
+	t.deps[p] = append(t.deps[p], idx)
+	e.notReady++
+}
+
+// JoinWaitImm distinguishes a "wait for the helper to finish" join (used
+// by the SMT-parallelization transform) from the default "kill the
+// helper" join Ghost Threading uses.
+const JoinWaitImm = 1
+
+// Thread statistics accessors.
+
+// accumulate folds context id's current counters into the spawn-surviving
+// aggregates (called before the context is reset for a new helper).
+func (c *Core) accumulate(id int) {
+	t := &c.threads[id]
+	c.accCommitted[id] += t.committed
+	c.accSerializes[id] += t.serializes
+	c.accFrontend[id] += t.frontendStall
+	t.committed, t.serializes, t.frontendStall = 0, 0, 0
+}
+
+// Committed returns the number of instructions committed by context id,
+// across helper re-spawns.
+func (c *Core) Committed(id int) int64 { return c.accCommitted[id] + c.threads[id].committed }
+
+// Serializes returns how many serialize instructions context id retired,
+// across helper re-spawns.
+func (c *Core) Serializes(id int) int64 { return c.accSerializes[id] + c.threads[id].serializes }
+
+// FrontendStalls returns cycles context id spent active with an empty ROB.
+func (c *Core) FrontendStalls(id int) int64 {
+	return c.accFrontend[id] + c.threads[id].frontendStall
+}
+
+// PCProfile returns per-static-instruction (stall cycles, executions) for
+// context id's current program. The slices alias internal state; callers
+// must copy if they outlive the run.
+func (c *Core) PCProfile(id int) (stall, exec []int64) {
+	return c.threads[id].stallPC, c.threads[id].execPC
+}
+
+// HelperActive reports whether context 1 is running.
+func (c *Core) HelperActive() bool { return c.smtActive() }
+
+// Hier returns the core's cache hierarchy (for system-level statistics).
+func (c *Core) Hier() *cache.Hierarchy { return c.hier }
+
+// PipelineSample is a point-in-time snapshot of the core's occupancy,
+// used by the gttrace tool to visualise full-window stalls (figure 2)
+// and serialize throttling.
+type PipelineSample struct {
+	Cycle            int64
+	ROB              [2]int  // entries occupied per context
+	LQ               [2]int  // load-queue entries per context
+	SQ               [2]int  // store-queue entries per context
+	MSHRs            int     // outstanding L1 misses (shared)
+	SerializeBlocked [2]bool // context blocked behind a serialize
+	Active           [2]bool
+}
+
+// Sample snapshots the pipeline occupancy at the current cycle.
+func (c *Core) Sample() PipelineSample {
+	var s PipelineSample
+	s.Cycle = c.now
+	s.MSHRs = c.mshrInUse
+	for i := range c.threads {
+		t := &c.threads[i]
+		s.ROB[i] = t.count
+		s.LQ[i] = t.lq
+		s.SQ[i] = t.sq
+		s.SerializeBlocked[i] = t.serializeBlocked
+		s.Active[i] = t.active && !t.finished
+	}
+	return s
+}

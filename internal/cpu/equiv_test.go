@@ -1,0 +1,137 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ghostthread/internal/cache"
+	"ghostthread/internal/graph"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+)
+
+// genProgram builds a random but well-formed program from a seed: a loop
+// over a scratch array mixing ALU ops, loads, and stores, ending with a
+// checksum store. Every generated program terminates.
+func genProgram(seed uint64) (*isa.Program, int64) {
+	rng := graph.NewRNG(seed)
+	b := isa.NewBuilder("rand")
+	b.Func("main")
+	const scratch = 512
+	base := b.Imm(scratch)
+	acc := b.Imm(int64(rng.Intn(1000)))
+	r1 := b.Imm(int64(rng.Intn(100) + 1))
+	r2 := b.Imm(int64(rng.Intn(100) + 1))
+	lo := b.Imm(0)
+	hi := b.Imm(int64(rng.Intn(200) + 20))
+	b.CountedLoop("l", lo, hi, func(i isa.Reg) {
+		n := int(rng.Intn(8)) + 3
+		for k := 0; k < n; k++ {
+			switch rng.Intn(10) {
+			case 0:
+				b.Add(acc, acc, r1)
+			case 1:
+				b.Sub(acc, acc, r2)
+			case 2:
+				b.Mul(r1, r1, r2)
+			case 3:
+				b.Xor(acc, acc, r1)
+			case 4:
+				b.AddI(r2, r2, int64(rng.Intn(7))-3)
+			case 5:
+				// Bounded indexed store.
+				idx := b.Reg()
+				b.AndI(idx, acc, 63)
+				a := b.Reg()
+				b.Add(a, base, idx)
+				b.Store(a, 0, acc)
+			case 6:
+				idx := b.Reg()
+				b.AndI(idx, r1, 63)
+				a := b.Reg()
+				b.Add(a, base, idx)
+				v := b.Reg()
+				b.Load(v, a, 0)
+				b.Add(acc, acc, v)
+			case 7:
+				b.Min(acc, acc, r1)
+			case 8:
+				b.ShrI(r1, r1, 1)
+				b.AddI(r1, r1, 1)
+			default:
+				b.Max(r2, r2, r1)
+			}
+		}
+	})
+	out := int64(256)
+	outR := b.Imm(out)
+	b.Store(outR, 0, acc)
+	b.Halt()
+	return b.MustBuild(), out
+}
+
+// TestCoreMatchesInterpreterProperty: for random programs, the cycle-level
+// core and the functional interpreter must leave identical memory.
+func TestCoreMatchesInterpreterProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, out := genProgram(seed)
+
+		ref := mem.New(2048)
+		if _, err := isa.Interp(p, ref, nil, 10_000_000); err != nil {
+			t.Logf("seed %d: interp error %v", seed, err)
+			return false
+		}
+
+		m := mem.New(2048)
+		mc := mem.NewController(mem.DefaultControllerConfig())
+		llc := cache.New("LLC", cache.DefaultLLCConfig())
+		h := cache.NewHierarchy(cache.DefaultHierarchyConfig(), llc, mc)
+		c := New(DefaultConfig(), h, m)
+		c.Load(p, nil)
+		if _, err := c.Run(50_000_000); err != nil {
+			t.Logf("seed %d: core error %v", seed, err)
+			return false
+		}
+
+		if ref.LoadWord(out) != m.LoadWord(out) {
+			t.Logf("seed %d: checksum interp=%d core=%d", seed, ref.LoadWord(out), m.LoadWord(out))
+			return false
+		}
+		for a := int64(512); a < 512+64; a++ {
+			if ref.LoadWord(a) != m.LoadWord(a) {
+				t.Logf("seed %d: scratch[%d] interp=%d core=%d", seed, a, ref.LoadWord(a), m.LoadWord(a))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoreCommitCountMatchesInterpSteps: committed instructions must equal
+// the interpreter's dynamic step count (perfect-prediction, no wrong-path
+// execution in the model).
+func TestCoreCommitCountMatchesInterpSteps(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p, _ := genProgram(seed)
+		ref := mem.New(2048)
+		ri, err := isa.Interp(p, ref, nil, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New(2048)
+		mc := mem.NewController(mem.DefaultControllerConfig())
+		llc := cache.New("LLC", cache.DefaultLLCConfig())
+		h := cache.NewHierarchy(cache.DefaultHierarchyConfig(), llc, mc)
+		c := New(DefaultConfig(), h, m)
+		c.Load(p, nil)
+		if _, err := c.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if c.Committed(0) != ri.Steps {
+			t.Errorf("seed %d: committed %d, interp steps %d", seed, c.Committed(0), ri.Steps)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package cpu
+
+// event kinds processed by the core's timing wheel.
+const (
+	evComplete    = iota // an in-flight instruction finishes execution
+	evMSHRRelease        // an outstanding L1 miss fill arrives; free the MSHR
+)
+
+type event struct {
+	at     int64
+	thread int8
+	kind   int8
+	gen    uint32 // thread generation; stale events are ignored
+	idx    int32  // ROB slot index (evComplete)
+}
+
+// eventHeap is a binary min-heap ordered by event.at. A hand-rolled heap
+// avoids container/heap's interface costs on the simulator's hot path.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ev[p].at <= h.ev[i].at {
+			break
+		}
+		h.ev[p], h.ev[i] = h.ev[i], h.ev[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) peekAt() (int64, bool) {
+	if len(h.ev) == 0 {
+		return 0, false
+	}
+	return h.ev[0].at, true
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.ev[l].at < h.ev[s].at {
+			s = l
+		}
+		if r < n && h.ev[r].at < h.ev[s].at {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.ev[i], h.ev[s] = h.ev[s], h.ev[i]
+		i = s
+	}
+	return top
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }

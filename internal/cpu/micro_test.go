@@ -1,0 +1,230 @@
+package cpu
+
+import (
+	"testing"
+
+	"ghostthread/internal/isa"
+)
+
+func TestStoreQueueCapThrottlesStores(t *testing.T) {
+	// With a 1-entry store queue, a burst of stores serialises on
+	// commit; with a large queue it flows at near-issue speed.
+	build := func() *isa.Program {
+		b := isa.NewBuilder("stores")
+		base := b.Imm(128)
+		v := b.Imm(7)
+		for i := 0; i < 200; i++ {
+			b.Store(base, int64(i), v)
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+	small := DefaultConfig()
+	small.StoreQ = 2 // per-thread cap is halved only in SMT mode
+	cs, _ := testRig(small, 4096)
+	cs.Load(build(), nil)
+	slow := run(t, cs, 1_000_000)
+
+	big := DefaultConfig()
+	cb, _ := testRig(big, 4096)
+	cb.Load(build(), nil)
+	fast := run(t, cb, 1_000_000)
+	if slow <= fast {
+		t.Errorf("store-queue cap had no effect: SQ=2 %d cycles, SQ=64 %d", slow, fast)
+	}
+}
+
+func TestCommitWidthBoundsIPC(t *testing.T) {
+	// Independent single-cycle ops: IPC is bounded by the commit width.
+	build := func() *isa.Program {
+		b := isa.NewBuilder("wide")
+		r := make([]isa.Reg, 8)
+		for i := range r {
+			r[i] = b.Imm(int64(i))
+		}
+		for i := 0; i < 4000; i++ {
+			b.AddI(r[i%8], r[i%8], 1)
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+	cfg := DefaultConfig()
+	cfg.CommitWidth = 2
+	cfg.FetchWidth = 8
+	cfg.IssueWidth = 8
+	c, _ := testRig(cfg, 1024)
+	c.Load(build(), nil)
+	cycles := run(t, c, 1_000_000)
+	ipc := float64(c.Committed(0)) / float64(cycles)
+	if ipc > 2.05 {
+		t.Errorf("IPC %.2f exceeds commit width 2", ipc)
+	}
+	if ipc < 1.5 {
+		t.Errorf("IPC %.2f far below commit width 2 on independent ops", ipc)
+	}
+}
+
+func TestIssueWidthBoundsThroughput(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder("issue")
+		r := make([]isa.Reg, 8)
+		for i := range r {
+			r[i] = b.Imm(int64(i))
+		}
+		for i := 0; i < 4000; i++ {
+			b.AddI(r[i%8], r[i%8], 1)
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+	cfg := DefaultConfig()
+	cfg.IssueWidth = 1
+	c, _ := testRig(cfg, 1024)
+	c.Load(build(), nil)
+	cycles := run(t, c, 1_000_000)
+	if cycles < 4000 {
+		t.Errorf("4000 ops in %d cycles despite issue width 1", cycles)
+	}
+}
+
+func TestSerializeInSMTLeavesSiblingRunning(t *testing.T) {
+	// A helper stuck in serializes must not slow the main thread's ALU
+	// work by more than the SMT fetch-sharing tax.
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 10
+	cfg.SpawnCostHelper = 10
+
+	hb := isa.NewBuilder("serspin")
+	for i := 0; i < 300; i++ {
+		hb.Serialize()
+	}
+	hb.Halt()
+
+	build := func(spawn bool) *isa.Program {
+		b := isa.NewBuilder("alu")
+		if spawn {
+			b.Spawn(0)
+		}
+		d := b.Imm(0)
+		lo := b.Imm(0)
+		hi := b.Imm(5000)
+		b.CountedLoop("w", lo, hi, func(i isa.Reg) {
+			b.AddI(d, d, 1)
+		})
+		if spawn {
+			b.Join()
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+
+	solo, _ := testRig(cfg, 1024)
+	solo.Load(build(false), nil)
+	alone := run(t, solo, 1_000_000)
+
+	pair, _ := testRig(cfg, 1024)
+	pair.Load(build(true), []*isa.Program{hb.MustBuild()})
+	together := run(t, pair, 1_000_000)
+
+	// The serializing helper consumes almost no shared resources: the
+	// main thread should lose little (paper §4.3.1's key property).
+	if together > alone*13/10 {
+		t.Errorf("serializing helper slowed the main thread: alone %d, together %d", alone, together)
+	}
+}
+
+func TestROBCapStallsDispatchNotCorrectness(t *testing.T) {
+	// A tiny ROB still computes the right result, just slower.
+	build := func() *isa.Program {
+		b := isa.NewBuilder("sum")
+		acc := b.Imm(0)
+		lo := b.Imm(0)
+		hi := b.Imm(1000)
+		b.CountedLoop("l", lo, hi, func(i isa.Reg) {
+			b.Add(acc, acc, i)
+		})
+		out := b.Imm(100)
+		b.Store(out, 0, acc)
+		b.Halt()
+		return b.MustBuild()
+	}
+	tiny := DefaultConfig()
+	tiny.ROBSize = 8
+	c, m := testRig(tiny, 1024)
+	c.Load(build(), nil)
+	slow := run(t, c, 1_000_000)
+	if got := m.LoadWord(100); got != 1000*999/2 {
+		t.Errorf("tiny-ROB result %d wrong", got)
+	}
+
+	cBig, m2 := testRig(DefaultConfig(), 1024)
+	cBig.Load(build(), nil)
+	fast := run(t, cBig, 1_000_000)
+	if got := m2.LoadWord(100); got != 1000*999/2 {
+		t.Errorf("big-ROB result %d wrong", got)
+	}
+	if slow <= fast {
+		t.Errorf("ROB size had no effect: 8-entry %d, default %d", slow, fast)
+	}
+}
+
+func TestFrontendStallsCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 500
+	cfg.SpawnCostHelper = 10
+	hb := isa.NewBuilder("h")
+	hb.Halt()
+	b := isa.NewBuilder("m")
+	b.Spawn(0)
+	b.Halt()
+	c, _ := testRig(cfg, 1024)
+	c.Load(b.MustBuild(), []*isa.Program{hb.MustBuild()})
+	run(t, c, 100_000)
+	if c.FrontendStalls(0) < 400 {
+		t.Errorf("spawn block not counted as frontend stalls: %d", c.FrontendStalls(0))
+	}
+}
+
+func TestPipelineSample(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 10
+	cfg.SpawnCostHelper = 10
+	hb := isa.NewBuilder("h")
+	hd := hb.Imm(0)
+	hlo := hb.Imm(0)
+	hhi := hb.Imm(5000)
+	hb.CountedLoop("hw", hlo, hhi, func(i isa.Reg) {
+		hb.AddI(hd, hd, 1)
+	})
+	hb.Halt()
+
+	b := isa.NewBuilder("m")
+	b.Spawn(0)
+	d := b.Imm(0)
+	lo := b.Imm(0)
+	hi := b.Imm(5000)
+	b.CountedLoop("w", lo, hi, func(i isa.Reg) {
+		b.AddI(d, d, 1)
+	})
+	b.JoinWait()
+	b.Halt()
+	c, _ := testRig(cfg, 1024)
+	c.Load(b.MustBuild(), []*isa.Program{hb.MustBuild()})
+
+	sawBoth := false
+	for c.Step() {
+		s := c.Sample()
+		if s.Cycle != c.Now() {
+			t.Fatalf("sample cycle %d != now %d", s.Cycle, c.Now())
+		}
+		if s.Active[0] && s.Active[1] && s.ROB[0] > 0 && s.ROB[1] > 0 {
+			sawBoth = true
+		}
+		if s.ROB[0] > cfg.ROBSize || s.ROB[1] > cfg.ROBSize {
+			t.Fatalf("ROB occupancy out of range: %+v", s)
+		}
+	}
+	if !sawBoth {
+		t.Error("never sampled both contexts active with occupancy")
+	}
+}

@@ -1,0 +1,187 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"ghostthread/internal/isa"
+)
+
+// delayLoop builds a program running n dependent adds then halting.
+func delayLoop(n int64) *isa.Program {
+	b := isa.NewBuilder("delay")
+	d := b.Imm(0)
+	lo := b.Imm(0)
+	hi := b.Imm(n)
+	b.CountedLoop("d", lo, hi, func(i isa.Reg) {
+		b.AddI(d, d, 1)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestHelperRespawnAccumulatesStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 10
+	cfg.SpawnCostHelper = 10
+	// Helper: 100 serializes then halt.
+	hb := isa.NewBuilder("ser100")
+	for i := 0; i < 100; i++ {
+		hb.Serialize()
+	}
+	hb.Halt()
+	helper := hb.MustBuild()
+
+	// Main spawns the helper three times, waiting for each.
+	b := isa.NewBuilder("respawner")
+	for k := 0; k < 3; k++ {
+		b.Spawn(0)
+		b.JoinWait()
+	}
+	b.Halt()
+
+	c, _ := testRig(cfg, 1024)
+	c.Load(b.MustBuild(), []*isa.Program{helper})
+	run(t, c, 1_000_000)
+	if got := c.Serializes(1); got != 300 {
+		t.Errorf("accumulated helper serializes = %d, want 300", got)
+	}
+	if c.Spawns != 3 {
+		t.Errorf("spawns = %d, want 3", c.Spawns)
+	}
+	if got := c.Committed(1); got != 3*101 {
+		t.Errorf("accumulated helper committed = %d, want 303", got)
+	}
+}
+
+func TestSegfaultReportsError(t *testing.T) {
+	b := isa.NewBuilder("oob")
+	a := b.Imm(1 << 40)
+	d := b.Reg()
+	b.Load(d, a, 0)
+	b.Halt()
+	c, _ := testRig(DefaultConfig(), 1024)
+	c.Load(b.MustBuild(), nil)
+	if _, err := c.Run(10_000); err == nil || !strings.Contains(err.Error(), "segfault") {
+		t.Errorf("out-of-bounds load not reported as segfault: %v", err)
+	}
+}
+
+func TestPrefetchOOBIsDropped(t *testing.T) {
+	// Prefetches to unmapped addresses are harmless (dropped), as on
+	// real hardware.
+	b := isa.NewBuilder("pfoob")
+	a := b.Imm(1 << 40)
+	b.Prefetch(a, 0)
+	neg := b.Imm(-500)
+	b.Prefetch(neg, 0)
+	b.Halt()
+	c, _ := testRig(DefaultConfig(), 1024)
+	c.Load(b.MustBuild(), nil)
+	if _, err := c.Run(10_000); err != nil {
+		t.Errorf("OOB prefetch faulted: %v", err)
+	}
+}
+
+func TestHelperSegfaultKillsRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 10
+	cfg.SpawnCostHelper = 10
+	hb := isa.NewBuilder("badhelper")
+	a := hb.Imm(1 << 40)
+	d := hb.Reg()
+	hb.Load(d, a, 0)
+	hb.Halt()
+
+	b := isa.NewBuilder("main")
+	b.Spawn(0)
+	x := b.Imm(0)
+	lo := b.Imm(0)
+	hi := b.Imm(10000)
+	b.CountedLoop("w", lo, hi, func(i isa.Reg) {
+		b.AddI(x, x, 1)
+	})
+	b.Join()
+	b.Halt()
+	c, _ := testRig(cfg, 1024)
+	c.Load(b.MustBuild(), []*isa.Program{hb.MustBuild()})
+	if _, err := c.Run(1_000_000); err == nil {
+		t.Error("helper segfault not surfaced (the paper's compiler ghosts segfault on sssp)")
+	}
+}
+
+func TestSMTThreadsShareIssueFairly(t *testing.T) {
+	// Two equal ALU loops on the two contexts should each take roughly
+	// twice as long as one alone (shared issue width), not starve.
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 10
+	cfg.SpawnCostHelper = 10
+
+	solo, _ := testRig(cfg, 1024)
+	solo.Load(delayLoop(20000), nil)
+	soloCycles := run(t, solo, 10_000_000)
+
+	b := isa.NewBuilder("both")
+	b.Spawn(0)
+	d := b.Imm(0)
+	lo := b.Imm(0)
+	hi := b.Imm(20000)
+	b.CountedLoop("d", lo, hi, func(i isa.Reg) {
+		b.AddI(d, d, 1)
+	})
+	b.JoinWait()
+	b.Halt()
+	pair, _ := testRig(cfg, 1024)
+	pair.Load(b.MustBuild(), []*isa.Program{delayLoop(20000)})
+	pairCycles := run(t, pair, 10_000_000)
+
+	// A serial dependent chain is latency-bound (1 add/cycle), so two
+	// threads overlap almost fully; allow up to 1.6x.
+	if pairCycles > soloCycles*16/10 {
+		t.Errorf("SMT pair too slow: solo %d, pair %d", soloCycles, pairCycles)
+	}
+	if pairCycles < soloCycles {
+		t.Errorf("SMT pair faster than one thread? solo %d, pair %d", soloCycles, pairCycles)
+	}
+}
+
+func TestJoinWithNoHelperIsCheapNoop(t *testing.T) {
+	b := isa.NewBuilder("lonejoin")
+	b.Join()
+	b.Halt()
+	c, _ := testRig(DefaultConfig(), 1024)
+	c.Load(b.MustBuild(), nil)
+	cycles := run(t, c, 100_000)
+	if cycles > DefaultConfig().JoinCost*2 {
+		t.Errorf("bare join took %d cycles", cycles)
+	}
+}
+
+func TestHelperFinishRestoresFullROB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpawnCostMain = 10
+	cfg.SpawnCostHelper = 10
+	// Short helper; main keeps running after it halts.
+	hb := isa.NewBuilder("short")
+	hb.Nop()
+	hb.Halt()
+
+	b := isa.NewBuilder("main")
+	b.Spawn(0)
+	d := b.Imm(0)
+	lo := b.Imm(0)
+	hi := b.Imm(100)
+	b.CountedLoop("w", lo, hi, func(i isa.Reg) {
+		b.AddI(d, d, 1)
+	})
+	b.Halt() // never joins: the helper halted on its own
+	c, _ := testRig(cfg, 1024)
+	c.Load(b.MustBuild(), []*isa.Program{hb.MustBuild()})
+	run(t, c, 100_000)
+	if c.HelperActive() {
+		t.Error("helper still active after halting")
+	}
+	if got := c.robCap(); got != cfg.ROBSize {
+		t.Errorf("ROB cap after helper finish = %d, want %d", got, cfg.ROBSize)
+	}
+}

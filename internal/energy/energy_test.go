@@ -1,0 +1,61 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ghostthread/internal/sim"
+)
+
+func TestPackageMonotoneInCycles(t *testing.T) {
+	m := DefaultModel()
+	a := sim.Result{Cycles: 1000}
+	b := sim.Result{Cycles: 2000}
+	if m.Package(a) >= m.Package(b) {
+		t.Error("longer run not more energy")
+	}
+}
+
+func TestSavingTracksSpeedupWhenStaticDominates(t *testing.T) {
+	// A 1.33x speedup with modestly higher activity must still save
+	// energy (the figure-7 correlation).
+	m := DefaultModel()
+	base := sim.Result{Cycles: 1_330_000, Committed: 700_000, L1Hits: 500_000, DRAMTransfers: 30_000}
+	ghost := sim.Result{Cycles: 1_000_000, Committed: 1_400_000, L1Hits: 1_000_000, DRAMTransfers: 32_000}
+	s := m.Saving(base, ghost)
+	if s <= 0.05 || s >= 0.30 {
+		t.Errorf("saving = %.2f, want a moderate positive saving", s)
+	}
+}
+
+func TestSlowdownCostsEnergy(t *testing.T) {
+	m := DefaultModel()
+	base := sim.Result{Cycles: 1_000_000, Committed: 700_000}
+	slow := sim.Result{Cycles: 1_200_000, Committed: 1_400_000}
+	if m.Saving(base, slow) >= 0 {
+		t.Error("slowdown with more work reported as saving energy")
+	}
+}
+
+func TestSavingZeroBaseline(t *testing.T) {
+	m := DefaultModel()
+	if s := m.Saving(sim.Result{}, sim.Result{Cycles: 10}); s != 0 {
+		t.Errorf("zero baseline saving = %v, want 0", s)
+	}
+}
+
+func TestPackageNonNegativeProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(cycles, instr, l1, dram uint32) bool {
+		r := sim.Result{
+			Cycles:        int64(cycles),
+			Committed:     int64(instr),
+			L1Hits:        int64(l1),
+			DRAMTransfers: int64(dram),
+		}
+		return m.Package(r) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package graph provides the compressed-sparse-row graphs and synthetic
+// generators the GAP workloads run on. The paper evaluates five inputs per
+// kernel — two synthetic (kron, urand) and three real-world (twitter,
+// road, web); downloading the real graphs is impossible offline and they
+// are far too large for a cycle-level simulator, so this package
+// synthesises scaled-down graphs with the same distinguishing structure:
+//
+//	kron    — RMAT/Kronecker, heavy-tailed degrees, low locality
+//	urand   — uniform random, flat degrees, no locality
+//	twitter — heavy-tailed "celebrity" in-degrees (Zipf targets)
+//	road    — bounded-degree grid, high locality, huge diameter
+//	web     — power-law out-degrees with host-local clustering
+//
+// All generation is deterministic given the seed.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RNG is a small xorshift64* generator; deterministic and fast, so graph
+// construction is reproducible without math/rand.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator (zero seeds are remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Float returns a uniform value in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// CSR is a directed graph in compressed-sparse-row form. Offsets has N+1
+// entries; node u's neighbours are Neigh[Offsets[u]:Offsets[u+1]], sorted
+// ascending and de-duplicated. Everything is int64 so the workload
+// builders can copy it straight into simulated memory words.
+type CSR struct {
+	N       int64
+	Offsets []int64
+	Neigh   []int64
+}
+
+// Edges returns the edge count.
+func (g *CSR) Edges() int64 { return int64(len(g.Neigh)) }
+
+// Degree returns node u's out-degree.
+func (g *CSR) Degree(u int64) int64 { return g.Offsets[u+1] - g.Offsets[u] }
+
+// Neighbors returns node u's adjacency slice.
+func (g *CSR) Neighbors(u int64) []int64 { return g.Neigh[g.Offsets[u]:g.Offsets[u+1]] }
+
+// Validate checks CSR invariants (for tests and generators).
+func (g *CSR) Validate() error {
+	if int64(len(g.Offsets)) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != int64(len(g.Neigh)) {
+		return fmt.Errorf("graph: offsets endpoints %d..%d, want 0..%d",
+			g.Offsets[0], g.Offsets[g.N], len(g.Neigh))
+	}
+	for u := int64(0); u < g.N; u++ {
+		if g.Offsets[u] > g.Offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+		ns := g.Neighbors(u)
+		for i, v := range ns {
+			if v < 0 || v >= g.N {
+				return fmt.Errorf("graph: node %d has out-of-range neighbour %d", u, v)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph: node %d adjacency not sorted/unique", u)
+			}
+		}
+	}
+	return nil
+}
+
+// fromAdj builds a CSR from per-node target lists, sorting, de-duplicating
+// and dropping self-loops.
+func fromAdj(n int64, adj [][]int64) *CSR {
+	g := &CSR{N: n, Offsets: make([]int64, n+1)}
+	total := 0
+	for u := int64(0); u < n; u++ {
+		ns := adj[u]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		w := 0
+		for i, v := range ns {
+			if v == u {
+				continue
+			}
+			if i > 0 && w > 0 && ns[w-1] == v {
+				continue
+			}
+			ns[w] = v
+			w++
+		}
+		adj[u] = ns[:w]
+		total += w
+	}
+	g.Neigh = make([]int64, 0, total)
+	for u := int64(0); u < n; u++ {
+		g.Offsets[u] = int64(len(g.Neigh))
+		g.Neigh = append(g.Neigh, adj[u]...)
+	}
+	g.Offsets[n] = int64(len(g.Neigh))
+	return g
+}
+
+// URand generates a uniform random graph: n nodes, deg out-edges each,
+// uniformly random targets (GAP's -u generator).
+func URand(n, deg int64, seed uint64) *CSR {
+	r := NewRNG(seed)
+	adj := make([][]int64, n)
+	for u := int64(0); u < n; u++ {
+		ns := make([]int64, deg)
+		for i := range ns {
+			ns[i] = r.Intn(n)
+		}
+		adj[u] = ns
+	}
+	return fromAdj(n, adj)
+}
+
+// Kron generates an RMAT/Kronecker graph with 2^scale nodes and about
+// deg edges per node, using the Graph500 partition probabilities
+// (a=0.57, b=0.19, c=0.19, d=0.05) that produce heavy-tailed degrees.
+func Kron(scale int, deg int64, seed uint64) *CSR {
+	n := int64(1) << scale
+	r := NewRNG(seed)
+	adj := make([][]int64, n)
+	edges := n * deg
+	for e := int64(0); e < edges; e++ {
+		var u, v int64
+		for b := 0; b < scale; b++ {
+			p := r.Float()
+			switch {
+			case p < 0.57:
+				// quadrant a: no bits set
+			case p < 0.76:
+				v |= 1 << b
+			case p < 0.95:
+				u |= 1 << b
+			default:
+				u |= 1 << b
+				v |= 1 << b
+			}
+		}
+		adj[u] = append(adj[u], v)
+	}
+	return fromAdj(n, adj)
+}
+
+// Road generates a grid road network: side×side intersections with
+// 4-neighbour connectivity plus sparse random "highway" shortcuts. High
+// locality, bounded degree, enormous diameter — like the USA road graph.
+func Road(side int64, seed uint64) *CSR {
+	n := side * side
+	r := NewRNG(seed)
+	adj := make([][]int64, n)
+	id := func(x, y int64) int64 { return y*side + x }
+	for y := int64(0); y < side; y++ {
+		for x := int64(0); x < side; x++ {
+			u := id(x, y)
+			if x+1 < side {
+				adj[u] = append(adj[u], id(x+1, y))
+			}
+			if x > 0 {
+				adj[u] = append(adj[u], id(x-1, y))
+			}
+			if y+1 < side {
+				adj[u] = append(adj[u], id(x, y+1))
+			}
+			if y > 0 {
+				adj[u] = append(adj[u], id(x, y-1))
+			}
+			// ~1% highway ramps to a distant intersection.
+			if r.Intn(100) == 0 {
+				adj[u] = append(adj[u], r.Intn(n))
+			}
+		}
+	}
+	return fromAdj(n, adj)
+}
+
+// Web generates a power-law web crawl: out-degrees follow a Zipf-like
+// distribution; most links stay within a node's "host" cluster and the
+// rest point at globally popular pages (low IDs).
+func Web(n int64, seed uint64) *CSR {
+	r := NewRNG(seed)
+	const hostSize = 64
+	adj := make([][]int64, n)
+	for u := int64(0); u < n; u++ {
+		// Zipf-ish out-degree in [1, 64].
+		deg := int64(1) + int64(float64(63)/(1.0+15.0*r.Float()))
+		host := u / hostSize * hostSize
+		ns := make([]int64, 0, deg)
+		for i := int64(0); i < deg; i++ {
+			if r.Float() < 0.7 {
+				ns = append(ns, min(host+r.Intn(hostSize), n-1))
+			} else {
+				// Popular pages: squared skew towards low IDs.
+				f := r.Float()
+				ns = append(ns, int64(f*f*float64(n)))
+			}
+		}
+		adj[u] = ns
+	}
+	return fromAdj(n, adj)
+}
+
+// Twitter generates a social-network graph: uniform-ish out-degrees but
+// heavy-tailed in-degrees (targets drawn with squared-skew towards a
+// small celebrity set), like the twitter follower graph.
+func Twitter(n, deg int64, seed uint64) *CSR {
+	r := NewRNG(seed)
+	adj := make([][]int64, n)
+	for u := int64(0); u < n; u++ {
+		d := deg/2 + r.Intn(deg)
+		ns := make([]int64, 0, d)
+		for i := int64(0); i < d; i++ {
+			if r.Float() < 0.5 {
+				// Celebrity follow: strong skew to low IDs.
+				f := r.Float()
+				ns = append(ns, int64(f*f*f*float64(n)))
+			} else {
+				ns = append(ns, r.Intn(n))
+			}
+		}
+		adj[u] = ns
+	}
+	return fromAdj(n, adj)
+}
+
+// Undirected returns the symmetric closure of g (u→v and v→u), used by
+// the undirected kernels (bfs, cc, bc, tc).
+func Undirected(g *CSR) *CSR {
+	adj := make([][]int64, g.N)
+	for u := int64(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	return fromAdj(g.N, adj)
+}
+
+// EdgeWeight returns the deterministic weight of edge index e in [1, 64],
+// shared by the sssp builder and its Go reference implementation.
+func EdgeWeight(e int64) int64 {
+	x := uint64(e) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	return int64(x%64) + 1
+}

@@ -1,0 +1,347 @@
+// Package harness drives the paper's experiments: one entry point per
+// table and figure (table 1, figures 3 and 6-10), each reproducing the
+// corresponding rows/series with the same structure the paper reports.
+// The cmd/ghostbench tool and the repository's benchmarks are thin
+// wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/energy"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/profile"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/slice"
+	"ghostthread/internal/workloads"
+)
+
+// Technique names, in the order the figures plot them.
+const (
+	TechSWPF     = "swpf"
+	TechSMT      = "smt-openmp"
+	TechGhost    = "ghost-threading"
+	TechCompiler = "compiler-ghost"
+)
+
+// Techniques lists the four evaluated techniques.
+var Techniques = []string{TechSWPF, TechSMT, TechGhost, TechCompiler}
+
+// Row is the evaluation outcome for one workload: speedups over the
+// baseline and package-energy savings, per technique. Unavailable
+// combinations (the figures' 'x' ticks) carry 0 and a reason.
+type Row struct {
+	Workload string
+	Decision core.Decision // the heuristic's ghost-vs-OpenMP choice
+	Targets  int           // number of selected target loads
+
+	BaselineCycles int64
+	Speedup        map[string]float64
+	EnergySaving   map[string]float64
+	Unavailable    map[string]string // technique -> reason ('x' ticks)
+}
+
+// Eval runs the full single-core evaluation pipeline for one workload:
+//
+//  1. profile the baseline on the reduced input (table 1),
+//  2. select target loads with the heuristic (paper §4.1),
+//  3. decide ghost-vs-OpenMP,
+//  4. run baseline / SWPF / SMT OpenMP / Ghost Threading / Compiler
+//     Extracted Ghost Threads on the evaluation input,
+//
+// validating every run's application results. cfg selects the machine
+// (idle or busy server) and is used for profiling too — that is why the
+// busy server selects more workloads (paper §6.3).
+func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error) {
+	build, err := workloads.Lookup(workload)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1-2: profile on the reduced input, select targets.
+	pinst := build(workloads.ProfileOptions())
+	rep, err := profile.Run(cfg, pinst.Mem, pinst.Baseline.Main, nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: profiling %s: %w", workload, err)
+	}
+	if err := pinst.Check(pinst.Mem); err != nil {
+		return nil, fmt.Errorf("harness: profiling run of %s corrupted results: %w", workload, err)
+	}
+	targets := core.SelectTargets(rep, hp)
+
+	evalOpts := workloads.DefaultOptions()
+	probe := build(evalOpts)
+	decision := core.Decide(targets, probe.Ghost != nil, probe.Parallel != nil)
+
+	row := &Row{
+		Workload:     workload,
+		Decision:     decision,
+		Targets:      len(targets),
+		Speedup:      map[string]float64{},
+		EnergySaving: map[string]float64{},
+		Unavailable:  map[string]string{},
+	}
+	em := energy.DefaultModel()
+
+	runVariant := func(vname string) (sim.Result, error) {
+		inst := build(evalOpts)
+		v := inst.VariantByName(vname)
+		if v == nil {
+			return sim.Result{}, fmt.Errorf("no %s variant", vname)
+		}
+		res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if err := inst.CheckFor(vname)(inst.Mem); err != nil {
+			return sim.Result{}, fmt.Errorf("result check: %w", err)
+		}
+		return res, nil
+	}
+
+	base, err := runVariant("baseline")
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s baseline: %w", workload, err)
+	}
+	row.BaselineCycles = base.Cycles
+
+	record := func(tech string, res sim.Result, err error) {
+		if err != nil {
+			row.Unavailable[tech] = err.Error()
+			return
+		}
+		row.Speedup[tech] = float64(base.Cycles) / float64(res.Cycles)
+		row.EnergySaving[tech] = em.Saving(base, res)
+	}
+
+	// SWPF.
+	res, err := runVariant("swpf")
+	record(TechSWPF, res, err)
+
+	// SMT OpenMP (x when parallelization needs rewriting).
+	if probe.Parallel == nil {
+		row.Unavailable[TechSMT] = "requires code rewriting"
+	} else {
+		res, err = runVariant("smt-openmp")
+		record(TechSMT, res, err)
+	}
+
+	// Ghost Threading: the heuristic's choice.
+	switch decision {
+	case core.UseGhost:
+		res, err = runVariant("ghost")
+	case core.UseParallel:
+		res, err = runVariant("smt-openmp")
+	default:
+		res, err = base, nil
+	}
+	record(TechGhost, res, err)
+
+	// Compiler Extracted Ghost Threads: extract from the annotated
+	// baseline when targets exist; otherwise mirror the fallback.
+	switch {
+	case len(targets) > 0:
+		res, err = runCompilerGhost(build, evalOpts, targets, cfg)
+		record(TechCompiler, res, err)
+	case probe.Parallel != nil:
+		res, err = runVariant("smt-openmp")
+		record(TechCompiler, res, err)
+	default:
+		record(TechCompiler, base, nil)
+	}
+	return row, nil
+}
+
+// runCompilerGhost extracts and runs the compiler ghost on a fresh
+// evaluation instance. Extraction or run failures (including the
+// segfaults the paper reports for sssp) surface as errors → 'x' ticks.
+func runCompilerGhost(build workloads.Builder, opts workloads.Options, targets []core.Target, cfg sim.Config) (sim.Result, error) {
+	inst := build(opts)
+	ext, err := slice.Extract(inst.Baseline.Main, targets, opts.Sync, inst.Counters)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("extraction: %w", err)
+	}
+	res, err := sim.RunProgram(cfg, inst.Mem, ext.Main, []*isa.Program{ext.Ghost})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		return sim.Result{}, fmt.Errorf("result check: %w", err)
+	}
+	return res, nil
+}
+
+// Geomean returns the geometric mean of the values (ignoring zeros).
+func Geomean(vals []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Matrix is the full evaluation of a workload set on one machine.
+type Matrix struct {
+	Machine string
+	Rows    []*Row
+}
+
+// RunMatrix evaluates every named workload.
+func RunMatrix(names []string, machine string, cfg sim.Config, progress func(string)) (*Matrix, error) {
+	m := &Matrix{Machine: machine}
+	for _, name := range names {
+		if progress != nil {
+			progress(name)
+		}
+		row, err := Eval(name, cfg, core.DefaultHeuristicParams())
+		if err != nil {
+			return nil, err
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m, nil
+}
+
+// GeomeanSpeedup returns the geomean speedup for a technique across the
+// matrix (unavailable entries contribute 1.0, like the paper's geomeans
+// which treat them as baseline runs).
+func (m *Matrix) GeomeanSpeedup(tech string) float64 {
+	var vals []float64
+	for _, r := range m.Rows {
+		if v, ok := r.Speedup[tech]; ok {
+			vals = append(vals, v)
+		} else {
+			vals = append(vals, 1.0)
+		}
+	}
+	return Geomean(vals)
+}
+
+// GeomeanSaving returns the mean energy saving for a technique (in the
+// multiplicative sense the paper's "geometric mean energy saving" uses:
+// geomean of the energy ratios, reported as a saving).
+func (m *Matrix) GeomeanSaving(tech string) float64 {
+	var vals []float64
+	for _, r := range m.Rows {
+		if v, ok := r.EnergySaving[tech]; ok {
+			vals = append(vals, 1-v)
+		} else {
+			vals = append(vals, 1.0)
+		}
+	}
+	g := Geomean(vals)
+	if g == 0 {
+		return 0
+	}
+	return 1 - g
+}
+
+// GhostSelected counts workloads where the heuristic chose ghost threads
+// (the figures' bold x-labels).
+func (m *Matrix) GhostSelected() int {
+	n := 0
+	for _, r := range m.Rows {
+		if r.Decision == core.UseGhost {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderSpeedups renders a figure-6/8-style table: one row per workload,
+// one column per technique, 'x' for unavailable, '*' marking workloads
+// where ghost threads replaced the OpenMP thread (bold labels).
+func (m *Matrix) RenderSpeedups() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s\n", "workload", "swpf", "smt-omp", "ghost", "compiler")
+	for _, r := range m.Rows {
+		label := r.Workload
+		if r.Decision == core.UseGhost {
+			label += "*"
+		}
+		fmt.Fprintf(&b, "%-16s", label)
+		for _, tech := range Techniques {
+			if v, ok := r.Speedup[tech]; ok {
+				fmt.Fprintf(&b, " %10.2f", v)
+			} else {
+				fmt.Fprintf(&b, " %10s", "x")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s", "geomean")
+	for _, tech := range Techniques {
+		fmt.Fprintf(&b, " %10.2f", m.GeomeanSpeedup(tech))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "ghost threads selected for %d of %d workloads\n", m.GhostSelected(), len(m.Rows))
+	return b.String()
+}
+
+// RenderEnergy renders the figure-7-style energy-saving table.
+func (m *Matrix) RenderEnergy() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s   (package energy saving, %%)\n",
+		"workload", "swpf", "smt-omp", "ghost", "compiler")
+	for _, r := range m.Rows {
+		label := r.Workload
+		if r.Decision == core.UseGhost {
+			label += "*"
+		}
+		fmt.Fprintf(&b, "%-16s", label)
+		for _, tech := range Techniques {
+			if v, ok := r.EnergySaving[tech]; ok {
+				fmt.Fprintf(&b, " %10.1f", 100*v)
+			} else {
+				fmt.Fprintf(&b, " %10s", "x")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s", "geomean")
+	for _, tech := range Techniques {
+		fmt.Fprintf(&b, " %10.1f", 100*m.GeomeanSaving(tech))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CSV renders the speedups as comma-separated values for plotting.
+func (m *Matrix) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,selected,swpf,smt_openmp,ghost,compiler\n")
+	for _, r := range m.Rows {
+		sel := 0
+		if r.Decision == core.UseGhost {
+			sel = 1
+		}
+		fmt.Fprintf(&b, "%s,%d", r.Workload, sel)
+		for _, tech := range Techniques {
+			if v, ok := r.Speedup[tech]; ok {
+				fmt.Fprintf(&b, ",%.4f", v)
+			} else {
+				fmt.Fprintf(&b, ",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortRows orders rows in the canonical figure order (the order given to
+// RunMatrix is preserved by default; this re-sorts alphabetically for ad
+// hoc sets).
+func (m *Matrix) SortRows() {
+	sort.Slice(m.Rows, func(i, j int) bool { return m.Rows[i].Workload < m.Rows[j].Workload })
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ghostthread/internal/core"
+)
+
+// fakeMatrix builds a two-row matrix without running anything.
+func fakeMatrix() *Matrix {
+	return &Matrix{
+		Machine: "idle",
+		Rows: []*Row{
+			{
+				Workload: "camel", Decision: core.UseGhost, Targets: 1,
+				BaselineCycles: 1000,
+				Speedup:        map[string]float64{TechSWPF: 2.2, TechSMT: 1.1, TechGhost: 2.0, TechCompiler: 1.9},
+				EnergySaving:   map[string]float64{TechSWPF: 0.3, TechSMT: 0.05, TechGhost: 0.25, TechCompiler: 0.2},
+				Unavailable:    map[string]string{},
+			},
+			{
+				Workload: "nas-is", Decision: core.UseBaseline, Targets: 0,
+				BaselineCycles: 2000,
+				Speedup:        map[string]float64{TechSWPF: 1.1, TechGhost: 1.0, TechCompiler: 1.0},
+				EnergySaving:   map[string]float64{TechSWPF: 0.05, TechGhost: 0, TechCompiler: 0},
+				Unavailable:    map[string]string{TechSMT: "requires code rewriting"},
+			},
+		},
+	}
+}
+
+func TestMatrixJSON(t *testing.T) {
+	m := fakeMatrix()
+	s, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Machine string `json:"machine"`
+		Rows    []struct {
+			Workload string             `json:"workload"`
+			Selected bool               `json:"ghost_selected"`
+			Speedup  map[string]float64 `json:"speedup"`
+		} `json:"rows"`
+		Geomeans map[string]float64 `json:"geomean_speedup"`
+		Selected int                `json:"ghost_selected_count"`
+	}
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, s)
+	}
+	if decoded.Machine != "idle" || len(decoded.Rows) != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if !decoded.Rows[0].Selected || decoded.Rows[1].Selected {
+		t.Error("selection flags wrong")
+	}
+	if decoded.Selected != 1 {
+		t.Errorf("selected count = %d, want 1", decoded.Selected)
+	}
+	if decoded.Geomeans[TechGhost] <= 1 {
+		t.Errorf("ghost geomean = %v", decoded.Geomeans[TechGhost])
+	}
+}
+
+func TestGnuplotScriptStructure(t *testing.T) {
+	m := fakeMatrix()
+	s := m.GnuplotScript("fig6", "Figure 6")
+	for _, want := range []string{
+		"set output 'fig6.svg'",
+		"set style data histograms",
+		"plot '-'",
+		`"camel*"`, // selected workloads keep their bold marker
+		`"nas-is"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+	// Four data blocks (one per technique), each terminated by 'e'.
+	if got := strings.Count(s, "\ne\n"); got != 4 {
+		t.Errorf("%d data terminators, want 4", got)
+	}
+	// The unavailable SMT entry renders as a zero bar.
+	if !strings.Contains(s, `"nas-is" 0.0000`) {
+		t.Error("unavailable entry not rendered as zero")
+	}
+}
+
+func TestGnuplotDistance(t *testing.T) {
+	with := []DistanceSample{{Cycle: 100, Distance: 50}, {Cycle: 200, Distance: 90}}
+	without := []DistanceSample{{Cycle: 100, Distance: 1000}, {Cycle: 200, Distance: 0}}
+	s := GnuplotDistance("fig10", "Figure 10", with, without)
+	if !strings.Contains(s, "set logscale y") {
+		t.Error("distance plot should be log-scale")
+	}
+	if !strings.Contains(s, "200 1\n") {
+		t.Error("zero distance not clamped to 1 for the log scale")
+	}
+	if got := strings.Count(s, "\ne\n"); got != 2 {
+		t.Errorf("%d data terminators, want 2", got)
+	}
+}

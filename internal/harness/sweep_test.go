@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ghostthread/internal/sim"
+)
+
+func TestSweepSyncCamel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	pts, err := SweepSync("camel", sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("got %d sweep points, want 9", len(pts))
+	}
+	best := 0.0
+	for _, p := range pts {
+		if p.Speedup <= 0 {
+			t.Errorf("non-positive speedup at %+v", p.Params)
+		}
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	// At least one configuration must deliver a solid ghost speedup on
+	// camel — the tuning target.
+	if best < 1.5 {
+		t.Errorf("best sweep speedup %.2f, want > 1.5", best)
+	}
+	out := RenderSweep("camel", pts)
+	if !strings.Contains(out, "*") {
+		t.Error("best point not marked")
+	}
+	if !strings.Contains(out, "toofar") {
+		t.Error("header missing")
+	}
+}
+
+func TestSweepUnknownWorkload(t *testing.T) {
+	if _, err := SweepSync("nonsense", sim.DefaultConfig()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	samples := []DistanceSample{
+		{Cycle: 100, Distance: 10},
+		{Cycle: 200, Distance: 50},
+		{Cycle: 300, Distance: 100},
+		{Cycle: 400, Distance: 0},
+	}
+	out := AsciiPlot(samples, 4, 20)
+	if !strings.Contains(out, "####################") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if AsciiPlot(nil, 4, 20) != "(no samples)\n" {
+		t.Error("empty input not handled")
+	}
+}

@@ -1,0 +1,154 @@
+package isa
+
+import "testing"
+
+func TestReserveRegs(t *testing.T) {
+	b := NewBuilder("r")
+	b.ReserveRegs(20)
+	if r := b.Reg(); r != 20 {
+		t.Errorf("first register after ReserveRegs(20) = %d, want 20", r)
+	}
+	// Reserving fewer must not move the allocator backwards.
+	b.ReserveRegs(5)
+	if r := b.Reg(); r != 21 {
+		t.Errorf("allocator moved backwards: got %d", r)
+	}
+}
+
+func TestReserveRegsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range reservation")
+		}
+	}()
+	NewBuilder("r").ReserveRegs(NumRegs + 1)
+}
+
+func TestRegisterExhaustionPanics(t *testing.T) {
+	b := NewBuilder("x")
+	b.ReserveRegs(NumRegs)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on register exhaustion")
+		}
+	}()
+	b.Reg()
+}
+
+func TestFlagRange(t *testing.T) {
+	b := NewBuilder("f")
+	b.Nop()
+	b.Nop()
+	b.Nop()
+	b.FlagRange(1, 3, FlagSync)
+	b.Halt()
+	p := b.MustBuild()
+	if p.Code[0].HasFlag(FlagSync) || !p.Code[1].HasFlag(FlagSync) || !p.Code[2].HasFlag(FlagSync) {
+		t.Errorf("FlagRange applied wrong: %+v", p.Code)
+	}
+}
+
+func TestEmitRawRejectsBranches(t *testing.T) {
+	b := NewBuilder("raw")
+	defer func() {
+		if recover() == nil {
+			t.Error("EmitRaw accepted a branch")
+		}
+	}()
+	b.EmitRaw(Instr{Op: OpJmp, Target: 0})
+}
+
+func TestBranchOpRejectsNonBranches(t *testing.T) {
+	b := NewBuilder("bo")
+	l := b.NewLabel()
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchOp accepted a non-branch")
+		}
+	}()
+	b.BranchOp(OpAdd, 0, 1, l)
+}
+
+func TestBranchOpBackpatches(t *testing.T) {
+	b := NewBuilder("bp")
+	r := b.Imm(1)
+	l := b.NewLabel()
+	b.BranchOp(OpBEQ, r, r, l)
+	b.Nop()
+	b.Bind(l)
+	b.Halt()
+	p := b.MustBuild()
+	// Layout: 0 const, 1 beq, 2 nop, 3 halt (label binds to the halt).
+	if p.Code[1].Target != 3 {
+		t.Errorf("branch target = %d, want 3", p.Code[1].Target)
+	}
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	b := NewBuilder("db")
+	l := b.NewLabel()
+	b.Bind(l)
+	b.Nop()
+	defer func() {
+		if recover() == nil {
+			t.Error("double bind not caught")
+		}
+	}()
+	b.Bind(l)
+}
+
+func TestBuilderReuseAfterBuildFails(t *testing.T) {
+	b := NewBuilder("once")
+	b.Halt()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("second Build did not fail")
+	}
+}
+
+func TestInnermostLoop(t *testing.T) {
+	b := NewBuilder("il")
+	zero := b.Imm(0)
+	n := b.Imm(3)
+	var innerPC int
+	b.CountedLoop("outer", zero, n, func(i Reg) {
+		b.CountedLoop("inner", zero, n, func(j Reg) {
+			innerPC = b.Nop()
+		})
+	})
+	b.Halt()
+	p := b.MustBuild()
+	l := p.InnermostLoop(innerPC)
+	if l == nil || l.Name != "inner" {
+		t.Errorf("InnermostLoop = %+v, want inner", l)
+	}
+	if p.InnermostLoop(len(p.Code)-1) != nil {
+		t.Error("halt should be in no loop")
+	}
+	if p.InnermostLoop(-1) != nil || p.InnermostLoop(10000) != nil {
+		t.Error("out-of-range pc should yield nil")
+	}
+}
+
+func TestHereLabel(t *testing.T) {
+	b := NewBuilder("hl")
+	r := b.Imm(0)
+	l := b.HereLabel()
+	target := b.AddI(r, r, 1)
+	lim := b.Imm(3)
+	b.BLT(r, lim, l)
+	b.Halt()
+	p := b.MustBuild()
+	// The backward branch must land on the AddI.
+	for i := range p.Code {
+		if p.Code[i].Op == OpBLT && int(p.Code[i].Target) != target {
+			t.Errorf("HereLabel target = %d, want %d", p.Code[i].Target, target)
+		}
+	}
+	m := fakeMem{}
+	if _, err := Interp(p, m, nil, 100); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package mem
+
+// ControllerConfig parameterises the DRAM timing model.
+type ControllerConfig struct {
+	// AccessLatency is the unloaded DRAM access latency in cycles
+	// (row access + on-chip traversal), added on top of queueing.
+	AccessLatency int64
+	// CyclesPerLine is the minimum spacing between line transfers the
+	// channel can sustain; 1/CyclesPerLine lines per cycle is the peak
+	// bandwidth.
+	CyclesPerLine int64
+	// PressureLinesPerKCycle is synthetic bandwidth pressure: how many
+	// line transfers per 1000 cycles are consumed by the busy-server
+	// pressure agents (paper §6.3, membw). Zero means an idle server.
+	PressureLinesPerKCycle int64
+}
+
+// DefaultControllerConfig returns the idle-server DRAM model used
+// throughout the evaluation.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		AccessLatency: 200,
+		CyclesPerLine: 4,
+	}
+}
+
+// Controller models the shared memory channel. All cores (and the
+// pressure agents) schedule their line transfers through it, so DRAM
+// bandwidth contention between SMT threads, cores, and background load
+// emerges from the shared nextFree horizon.
+type Controller struct {
+	cfg ControllerConfig
+
+	nextFree      int64 // earliest cycle the channel can start a transfer
+	pressureAcct  int64 // cycle up to which pressure traffic is accounted
+	pressureCarry int64 // fractional pressure lines carried between requests (x1000)
+
+	// Transfers counts demand line transfers (for bandwidth stats and
+	// the energy model).
+	Transfers int64
+}
+
+// NewController returns a Controller with the given configuration.
+func NewController(cfg ControllerConfig) *Controller {
+	if cfg.CyclesPerLine <= 0 {
+		cfg.CyclesPerLine = 1
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() ControllerConfig { return c.cfg }
+
+// Schedule books a line transfer requested at cycle now and returns the
+// cycle at which the data arrives at the LLC boundary. Queueing delay
+// accumulates when requests arrive faster than the channel drains,
+// including transfers consumed by pressure agents.
+func (c *Controller) Schedule(now int64) int64 {
+	if c.cfg.PressureLinesPerKCycle > 0 && now > c.pressureAcct {
+		// Account the pressure traffic that arrived since the last
+		// demand request: it occupies channel slots ahead of us.
+		elapsed := now - c.pressureAcct
+		c.pressureCarry += elapsed * c.cfg.PressureLinesPerKCycle
+		lines := c.pressureCarry / 1000
+		c.pressureCarry %= 1000
+		c.pressureAcct = now
+		occupied := lines * c.cfg.CyclesPerLine
+		if c.nextFree < now {
+			// The channel was idle; pressure can only consume idle
+			// slots up to now.
+			c.nextFree = min(c.nextFree+occupied, now)
+		} else {
+			c.nextFree += occupied
+		}
+	}
+	start := max(now, c.nextFree)
+	c.nextFree = start + c.cfg.CyclesPerLine
+	c.Transfers++
+	return start + c.cfg.AccessLatency
+}
+
+// Reset clears timing state but keeps the configuration.
+func (c *Controller) Reset() {
+	c.nextFree = 0
+	c.pressureAcct = 0
+	c.pressureCarry = 0
+	c.Transfers = 0
+}

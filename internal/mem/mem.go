@@ -1,0 +1,106 @@
+// Package mem provides the simulated machine's data memory: a flat,
+// word-addressed store shared by all hardware threads, a bump allocator
+// for laying out workload data, and the DRAM/memory-controller timing
+// model with bandwidth accounting and synthetic bandwidth-pressure agents
+// (the stand-in for the paper's Intel RDT `membw` tool, §6.3).
+package mem
+
+import "fmt"
+
+// WordBytes is the size of one memory word.
+const WordBytes = 8
+
+// LineWords is the number of words per cache line (64-byte lines).
+const LineWords = 8
+
+// Memory is the functional data store. Addresses are word indices.
+// Out-of-range accesses panic: they indicate workload bugs, not
+// recoverable conditions.
+type Memory struct {
+	words []int64
+}
+
+// New returns a Memory with capacity for size words.
+func New(size int64) *Memory {
+	return &Memory{words: make([]int64, size)}
+}
+
+// Size returns the capacity in words.
+func (m *Memory) Size() int64 { return int64(len(m.words)) }
+
+// LoadWord returns the word at addr.
+func (m *Memory) LoadWord(addr int64) int64 {
+	if addr < 0 || addr >= int64(len(m.words)) {
+		panic(fmt.Sprintf("mem: load out of range: %d (size %d)", addr, len(m.words)))
+	}
+	return m.words[addr]
+}
+
+// StoreWord writes v at addr.
+func (m *Memory) StoreWord(addr int64, v int64) {
+	if addr < 0 || addr >= int64(len(m.words)) {
+		panic(fmt.Sprintf("mem: store out of range: %d (size %d)", addr, len(m.words)))
+	}
+	m.words[addr] = v
+}
+
+// Fill sets words [addr, addr+n) to v.
+func (m *Memory) Fill(addr, n, v int64) {
+	for i := int64(0); i < n; i++ {
+		m.StoreWord(addr+i, v)
+	}
+}
+
+// CopyIn writes the slice vs starting at addr.
+func (m *Memory) CopyIn(addr int64, vs []int64) {
+	for i, v := range vs {
+		m.StoreWord(addr+int64(i), v)
+	}
+}
+
+// Slice returns a view of words [addr, addr+n) for test inspection.
+func (m *Memory) Slice(addr, n int64) []int64 {
+	if addr < 0 || addr+n > int64(len(m.words)) {
+		panic(fmt.Sprintf("mem: slice out of range: [%d,%d) size %d", addr, addr+n, len(m.words)))
+	}
+	return m.words[addr : addr+n]
+}
+
+// Heap lays out workload data in a Memory with line-aligned allocations.
+// Address 0 is reserved (never allocated) so it can act as a null.
+type Heap struct {
+	mem  *Memory
+	next int64
+}
+
+// NewHeap returns an allocator over m starting after the reserved line.
+func NewHeap(m *Memory) *Heap {
+	return &Heap{mem: m, next: LineWords}
+}
+
+// Alloc reserves n words aligned to a cache line and returns the base
+// address. It panics when the memory is exhausted (a sizing bug).
+func (h *Heap) Alloc(n int64) int64 {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	base := h.next
+	h.next += (n + LineWords - 1) / LineWords * LineWords
+	if h.next > h.mem.Size() {
+		panic(fmt.Sprintf("mem: heap exhausted: need %d words, have %d", h.next, h.mem.Size()))
+	}
+	return base
+}
+
+// AllocSlice reserves space for vs, copies it in, and returns the base.
+func (h *Heap) AllocSlice(vs []int64) int64 {
+	base := h.Alloc(int64(len(vs)))
+	h.mem.CopyIn(base, vs)
+	return base
+}
+
+// Used reports the number of words allocated so far.
+func (h *Heap) Used() int64 { return h.next }
+
+// Mem returns the underlying memory.
+func (h *Heap) Mem() *Memory { return h.mem }

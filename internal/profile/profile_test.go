@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"ghostthread/internal/graph"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+)
+
+// buildHotLoop emits an indirect-load loop over a large array (misses)
+// plus a small cached loop, so the profile has contrast.
+func buildHotLoop(t *testing.T) (*isa.Program, *mem.Memory, int, int) {
+	t.Helper()
+	const n, m = 4096, 1 << 15
+	mm := mem.New(m + n + 256)
+	h := mem.NewHeap(mm)
+	rng := graph.NewRNG(3)
+	values := make([]int64, m)
+	for i := range values {
+		values[i] = int64(rng.Next() >> 40)
+	}
+	index := make([]int64, n)
+	for i := range index {
+		index[i] = rng.Intn(m)
+	}
+	valuesA := h.AllocSlice(values)
+	indexA := h.AllocSlice(index)
+	out := h.Alloc(1)
+
+	b := isa.NewBuilder("hotcold")
+	b.Func("hot")
+	sum := b.Imm(0)
+	valuesR := b.Imm(valuesA)
+	indexR := b.Imm(indexA)
+	lo := b.Imm(0)
+	hi := b.Imm(n)
+	var hotPC, hotLoop int
+	hotLoop = b.CountedLoop("hot_loop", lo, hi, func(i isa.Reg) {
+		a := b.Reg()
+		b.Add(a, indexR, i)
+		idx := b.Reg()
+		b.Load(idx, a, 0)
+		va := b.Reg()
+		b.Add(va, valuesR, idx)
+		v := b.Reg()
+		hotPC = b.Load(v, va, 0)
+		b.MarkTarget()
+		b.Add(sum, sum, v)
+	})
+	b.Func("cold")
+	small := b.Imm(64)
+	b.CountedLoop("cold_loop", lo, small, func(i isa.Reg) {
+		b.AddI(sum, sum, 1)
+	})
+	outR := b.Imm(out)
+	b.Store(outR, 0, sum)
+	b.Halt()
+	return b.MustBuild(), mm, hotPC, hotLoop
+}
+
+func TestProfileAttributesStallsToHotLoad(t *testing.T) {
+	p, mm, hotPC, hotLoop := buildHotLoop(t)
+	rep, err := Run(sim.DefaultConfig(), mm, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Instrs[hotPC]
+	if st.Executions != 4096 {
+		t.Errorf("hot load executions = %d, want 4096", st.Executions)
+	}
+	if st.CPI < 3 {
+		t.Errorf("hot load CPI = %.1f, expected a missing load", st.CPI)
+	}
+	if rep.CoverageTask(hotPC) < 0.2 {
+		t.Errorf("hot load task coverage = %.2f, want dominant", rep.CoverageTask(hotPC))
+	}
+	if rep.CoverageFunc(hotPC) < 0.5 {
+		t.Errorf("hot load function coverage = %.2f", rep.CoverageFunc(hotPC))
+	}
+	ls := rep.Loops[hotLoop]
+	if ls.Iterations != 4096 {
+		t.Errorf("hot loop iterations = %d, want 4096", ls.Iterations)
+	}
+	if ls.DynamicSize < 5 || ls.DynamicSize > 12 {
+		t.Errorf("hot loop dynamic size = %.1f, expected ~8", ls.DynamicSize)
+	}
+	// The hot load must rank first.
+	if hl := rep.HotLoads(); len(hl) == 0 || hl[0] != hotPC {
+		t.Errorf("HotLoads ranking wrong: %v", hl)
+	}
+}
+
+func TestProfileStringRendersSections(t *testing.T) {
+	p, mm, _, _ := buildHotLoop(t)
+	rep, err := Run(sim.DefaultConfig(), mm, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"hot loads:", "loops:", "hot_loop", "cold_loop", "CPI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestLoopStatsSeparateFunctions(t *testing.T) {
+	p, mm, hotPC, _ := buildHotLoop(t)
+	rep, err := Run(sim.DefaultConfig(), mm, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FuncStall["hot"] == 0 {
+		t.Error("hot function has no attributed stalls")
+	}
+	// The cold function's stall share must be tiny next to hot's.
+	if rep.FuncStall["cold"]*10 > rep.FuncStall["hot"] {
+		t.Errorf("cold function stall %d too close to hot %d",
+			rep.FuncStall["cold"], rep.FuncStall["hot"])
+	}
+	_ = hotPC
+}

@@ -1,0 +1,202 @@
+// Package sim assembles the full simulated machine: one or more SMT cores
+// (internal/cpu) with private L1/L2 caches, a shared last-level cache, and
+// a shared memory controller with optional busy-server bandwidth pressure.
+// The experiment harness runs every technique variant through a System and
+// compares cycle counts.
+package sim
+
+import (
+	"fmt"
+
+	"ghostthread/internal/cache"
+	"ghostthread/internal/cpu"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+)
+
+// Config describes a machine.
+type Config struct {
+	Cores  int
+	CPU    cpu.Config
+	Hier   cache.HierarchyConfig
+	LLC    cache.Config
+	MemCtl mem.ControllerConfig
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+
+	// SampleEvery invokes Sampler every so many cycles when > 0 (the
+	// figure-10 distance traces use it).
+	SampleEvery int64
+	Sampler     func(now int64)
+}
+
+// DefaultConfig returns the single-core idle-server machine.
+func DefaultConfig() Config {
+	return Config{
+		Cores:     1,
+		CPU:       cpu.DefaultConfig(),
+		Hier:      cache.DefaultHierarchyConfig(),
+		LLC:       cache.DefaultLLCConfig(),
+		MemCtl:    mem.DefaultControllerConfig(),
+		MaxCycles: 2_000_000_000,
+	}
+}
+
+// BusyConfig returns the busy-server machine: the same core, with
+// synthetic bandwidth pressure equivalent to the paper's seven membw
+// agents at 3 GB/s each consuming a large share of the channel (§6.3).
+func BusyConfig() Config {
+	cfg := DefaultConfig()
+	// Peak channel bandwidth is 1 line / CyclesPerLine; the pressure
+	// agents consume ~55% of it, mirroring 21 GB/s of ~38 GB/s usable,
+	// and the loaded DRAM queue raises the unloaded access latency too
+	// (the paper: "increasing the CPI and coverage time of loads").
+	cfg.MemCtl.PressureLinesPerKCycle = 1000 / cfg.MemCtl.CyclesPerLine * 55 / 100
+	cfg.MemCtl.AccessLatency += 100
+	return cfg
+}
+
+// System is an instantiated machine bound to a Memory.
+type System struct {
+	cfg   Config
+	mem   *mem.Memory
+	mc    *mem.Controller
+	llc   *cache.Cache
+	cores []*cpu.Core
+
+	finishAt []int64
+	now      int64
+}
+
+// New builds the machine over m.
+func New(cfg Config, m *mem.Memory) *System {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	s := &System{
+		cfg:      cfg,
+		mem:      m,
+		mc:       mem.NewController(cfg.MemCtl),
+		llc:      cache.New("LLC", cfg.LLC),
+		cores:    make([]*cpu.Core, cfg.Cores),
+		finishAt: make([]int64, cfg.Cores),
+	}
+	for i := range s.cores {
+		h := cache.NewHierarchy(cfg.Hier, s.llc, s.mc)
+		s.cores[i] = cpu.New(cfg.CPU, h, m)
+	}
+	return s
+}
+
+// Core returns core i (for loading programs and reading profiles).
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// Cores returns the core count.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Mem returns the shared memory.
+func (s *System) Mem() *mem.Memory { return s.mem }
+
+// Load installs a main program (and its helpers) on core i.
+func (s *System) Load(i int, main *isa.Program, helpers []*isa.Program) {
+	s.cores[i].Load(main, helpers)
+	s.finishAt[i] = 0
+}
+
+// Result summarises a run.
+type Result struct {
+	Cycles     int64   // cycles until the last core finished
+	CoreCycles []int64 // per-core finish cycle
+
+	Committed     int64 // instructions committed, all contexts
+	MainCommitted int64 // instructions committed by context 0 of core 0
+	Serializes    int64
+	Prefetches    int64
+	Spawns        int64
+	Stores        int64
+
+	LoadLevel     [4]int64 // demand loads satisfied per cache level
+	PrefetchLevel [4]int64
+
+	L1Hits, L1Misses   int64
+	L2Hits, L2Misses   int64
+	LLCHits, LLCMisses int64
+	DRAMTransfers      int64
+
+	FrontendStalls int64
+}
+
+// Run simulates until every core is done, returning aggregate statistics.
+func (s *System) Run() (Result, error) {
+	sampleAt := s.cfg.SampleEvery
+	for {
+		allDone := true
+		for i, c := range s.cores {
+			if c.Done() {
+				if s.finishAt[i] == 0 {
+					s.finishAt[i] = c.Now()
+				}
+				continue
+			}
+			allDone = false
+			c.Step()
+		}
+		s.now++
+		if s.cfg.Sampler != nil && sampleAt > 0 && s.now%sampleAt == 0 {
+			s.cfg.Sampler(s.now)
+		}
+		if allDone {
+			break
+		}
+		if s.now >= s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded %d cycles", s.cfg.MaxCycles)
+		}
+	}
+
+	var res Result
+	res.CoreCycles = make([]int64, len(s.cores))
+	for i, c := range s.cores {
+		if err := c.Err(); err != nil {
+			return Result{}, err
+		}
+		fin := s.finishAt[i]
+		if fin == 0 {
+			fin = c.Now()
+		}
+		res.CoreCycles[i] = fin
+		if fin > res.Cycles {
+			res.Cycles = fin
+		}
+		res.Committed += c.Committed(0) + c.Committed(1)
+		res.Serializes += c.Serializes(0) + c.Serializes(1)
+		res.FrontendStalls += c.FrontendStalls(0) + c.FrontendStalls(1)
+		res.Prefetches += c.Prefetches
+		res.Spawns += c.Spawns
+		res.Stores += c.Stores
+		for l := 0; l < 4; l++ {
+			res.LoadLevel[l] += c.LoadLevel[l]
+			res.PrefetchLevel[l] += c.PrefetchLevel[l]
+		}
+	}
+	res.MainCommitted = s.cores[0].Committed(0)
+	for _, c := range s.cores {
+		h := c.Hier()
+		res.L1Hits += h.L1.Hits + h.L1.InFlightHits
+		res.L1Misses += h.L1.Misses
+		res.L2Hits += h.L2.Hits + h.L2.InFlightHits
+		res.L2Misses += h.L2.Misses
+	}
+	res.LLCHits = s.llc.Hits + s.llc.InFlightHits
+	res.LLCMisses = s.llc.Misses
+	res.DRAMTransfers = s.mc.Transfers
+	return res, nil
+}
+
+// RunProgram is the single-core convenience path: build a machine with
+// cfg over m, run main (with helpers) on core 0, and return the result.
+func RunProgram(cfg Config, m *mem.Memory, main *isa.Program, helpers []*isa.Program) (Result, error) {
+	s := New(cfg, m)
+	s.Load(0, main, helpers)
+	return s.Run()
+}

@@ -1,0 +1,326 @@
+// Package slice implements the compiler-driven, automatic ghost-thread
+// extraction of the paper's §4.4 ("Compiler Extracted Ghost Threads"):
+// given a baseline program whose target loads are annotated (and selected
+// by the heuristic), it
+//
+//  1. picks the extraction region — the outermost loop enclosing the
+//     hottest target (the loop a #pragma would name),
+//  2. duplicates the region's control-flow structure into a new ghost
+//     program, keeping the backward slice of the target addresses plus
+//     every branch (and the computation branches depend on), dropping all
+//     stores and atomics, and replacing target loads with prefetches,
+//  3. appends the synchronization segment after the last target prefetch
+//     of the target loop, and
+//  4. rewrites the main program: a shared iteration counter updated in
+//     the target loop, a counter reset + spawn before the region, and a
+//     join after it.
+//
+// Live-in registers are not rematerialised: the extracted code reuses the
+// source program's register numbers and relies on the spawn-time register
+// copy. Exactly like the paper's LLVM pass, the result keeps
+// "difficult-to-remove, unnecessary control flow" and the irrelevant
+// instructions it depends on — compiler ghosts run more instructions than
+// manual ones, and with stale loop-carried registers they can issue
+// useless prefetches or even fault, which is the behaviour the paper
+// reports (§6.1).
+package slice
+
+import (
+	"fmt"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/isa"
+)
+
+// Result is the output of an extraction.
+type Result struct {
+	Main  *isa.Program // transformed main program (counter, spawn, join)
+	Ghost *isa.Program // the extracted ghost thread
+
+	RegionLoop int // loop ID of the extraction region in the source program
+	TargetLoop int // loop ID of the synchronised target loop
+	Kept       int // region instructions kept in the ghost
+	Dropped    int // region instructions dropped (stores, dead value code)
+}
+
+// Extract builds the compiler ghost for the given selected targets.
+// Targets must be non-empty; the loop of the highest-coverage target (the
+// first, per core.SelectTargets ordering) is synchronised, and its
+// outermost enclosing loop becomes the region.
+func Extract(base *isa.Program, targets []core.Target, params core.SyncParams, ctr core.Counters) (*Result, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("slice: no targets selected for %q", base.Name)
+	}
+	targetLoop := targets[0].LoopID
+	if targetLoop < 0 || targetLoop >= len(base.Loops) {
+		return nil, fmt.Errorf("slice: target loop %d out of range in %q", targetLoop, base.Name)
+	}
+	region := targetLoop
+	for base.Loops[region].Parent >= 0 {
+		region = base.Loops[region].Parent
+	}
+	head, end := base.Loops[region].Head, base.Loops[region].End
+
+	// Target load PCs inside the region (only those get prefetched).
+	targetPCs := map[int]bool{}
+	syncAfter := -1
+	for _, t := range targets {
+		if t.LoadPC >= head && t.LoadPC < end {
+			targetPCs[t.LoadPC] = true
+			if t.LoopID == targetLoop && t.LoadPC > syncAfter {
+				syncAfter = t.LoadPC
+			}
+		}
+	}
+	if syncAfter < 0 {
+		return nil, fmt.Errorf("slice: no target loads inside region of %q", base.Name)
+	}
+
+	res := &Result{RegionLoop: region, TargetLoop: targetLoop}
+	ghost, err := buildGhost(base, head, end, targetPCs, syncAfter, params, ctr, res)
+	if err != nil {
+		return nil, err
+	}
+	main, err := rewriteMain(base, head, end, targetLoop, ctr)
+	if err != nil {
+		return nil, err
+	}
+	res.Main = main
+	res.Ghost = ghost
+	return res, nil
+}
+
+// buildGhost duplicates the region [head, end) into a ghost program.
+func buildGhost(base *isa.Program, head, end int, targetPCs map[int]bool, syncAfter int,
+	params core.SyncParams, ctr core.Counters, res *Result) (*isa.Program, error) {
+
+	include := computeSlice(base, head, end, targetPCs)
+
+	maxReg := MaxRegUsed(base)
+	if maxReg+12 > isa.NumRegs {
+		return nil, fmt.Errorf("slice: %q uses %d registers; no space for sync state", base.Name, maxReg)
+	}
+
+	b := isa.NewBuilder(base.Name + "-compiler-ghost")
+	b.Func("ghost")
+	b.ReserveRegs(maxReg)
+	st := core.NewSync(b, params, ctr)
+
+	// One label per distinct branch target; exits share a label bound at
+	// the trailing halt.
+	labels := map[int]isa.Label{}
+	exit := b.NewLabel()
+	labelFor := func(t int) isa.Label {
+		if t < head || t >= end {
+			return exit
+		}
+		l, ok := labels[t]
+		if !ok {
+			l = b.NewLabel()
+			labels[t] = l
+		}
+		return l
+	}
+	// Pre-create labels so binding can happen in order.
+	for pc := head; pc < end; pc++ {
+		in := &base.Code[pc]
+		if in.Op.IsBranch() {
+			labelFor(int(in.Target))
+		}
+	}
+
+	for pc := head; pc < end; pc++ {
+		if l, ok := labels[pc]; ok {
+			b.Bind(l)
+		}
+		in := base.Code[pc]
+		switch {
+		case !include[pc-head]:
+			res.Dropped++
+			continue
+		case targetPCs[pc]:
+			b.Prefetch(in.Src1, in.Imm)
+			res.Kept++
+			if pc == syncAfter {
+				core.EmitSync(b, st, nil)
+			}
+		case in.Op.IsBranch():
+			b.BranchOp(in.Op, in.Src1, in.Src2, labelFor(int(in.Target)))
+			res.Kept++
+		default:
+			in.Flags = 0
+			b.EmitRaw(in)
+			res.Kept++
+		}
+	}
+	b.Bind(exit)
+	b.Halt()
+	return b.Build()
+}
+
+// computeSlice returns, per region offset, whether the instruction is
+// kept: all control flow, the backward closure of branch operands and
+// target addresses; stores and atomics are always dropped (the ghost must
+// not modify application state).
+func computeSlice(base *isa.Program, head, end int, targetPCs map[int]bool) []bool {
+	n := end - head
+	include := make([]bool, n)
+	needed := map[isa.Reg]bool{}
+
+	markSrcs := func(in *isa.Instr) {
+		ns := in.Op.NumSrcs()
+		if ns >= 1 {
+			needed[in.Src1] = true
+		}
+		if ns >= 2 {
+			needed[in.Src2] = true
+		}
+	}
+
+	// Iterate to a fixed point: needs flow backwards around loops.
+	for changed := true; changed; {
+		changed = false
+		for pc := end - 1; pc >= head; pc-- {
+			i := pc - head
+			if include[i] {
+				continue
+			}
+			in := &base.Code[pc]
+			keep := false
+			switch {
+			case in.Op == isa.OpStore || in.Op == isa.OpAtomicAdd:
+				keep = false // never: ghost threads are read-only
+			case in.Op.IsBranch() || in.Op == isa.OpHalt:
+				keep = true
+			case targetPCs[pc]:
+				keep = true
+			case in.Op == isa.OpSpawn || in.Op == isa.OpJoin || in.Op == isa.OpSerialize:
+				keep = false
+			case in.Op.HasDst() && needed[in.Dst]:
+				keep = true
+			}
+			if keep {
+				include[i] = true
+				changed = true
+				if targetPCs[pc] {
+					needed[in.Src1] = true // only the address matters
+				} else {
+					markSrcs(in)
+				}
+			}
+		}
+	}
+	return include
+}
+
+// rewriteMain inserts the counter prologue, the per-iteration counter
+// update in the target loop, and the spawn/join pair around the region.
+func rewriteMain(base *isa.Program, head, end, targetLoop int, ctr core.Counters) (*isa.Program, error) {
+	maxReg := MaxRegUsed(base)
+	if maxReg+4 > isa.NumRegs {
+		return nil, fmt.Errorf("slice: %q uses %d registers; no space for counter state", base.Name, maxReg)
+	}
+	ctrAddr := isa.Reg(maxReg)
+	oneR := isa.Reg(maxReg + 1)
+	zeroR := isa.Reg(maxReg + 2)
+	dstR := isa.Reg(maxReg + 3)
+
+	p := Clone(base)
+	p.Name = base.Name + "-compiler-main"
+
+	backedge := p.Loops[targetLoop].Backedge
+	if backedge < 0 {
+		return nil, fmt.Errorf("slice: target loop %d of %q has no backedge", targetLoop, base.Name)
+	}
+
+	// Apply insertions from the highest position down so indices stay
+	// valid. The join uses exclusive branch shifting so region-exit
+	// branches land on it; the counter update inherits the target loop's
+	// annotation so profiling attributes it correctly.
+	InsertAt(p, end, true, false, isa.Instr{Op: isa.OpJoin})
+	InsertAt(p, backedge, false, true,
+		isa.Instr{Op: isa.OpAtomicAdd, Dst: dstR, Src1: ctrAddr, Src2: oneR, Flags: isa.FlagSync})
+	InsertAt(p, head, false, false,
+		isa.Instr{Op: isa.OpStore, Src1: ctrAddr, Src2: zeroR, Flags: isa.FlagSync},
+		isa.Instr{Op: isa.OpSpawn, Imm: 0},
+	)
+	InsertAt(p, 0, false, false,
+		isa.Instr{Op: isa.OpConst, Dst: ctrAddr, Imm: ctr.MainAddr},
+		isa.Instr{Op: isa.OpConst, Dst: oneR, Imm: 1},
+		isa.Instr{Op: isa.OpConst, Dst: zeroR, Imm: 0},
+	)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("slice: rewritten main invalid: %w", err)
+	}
+	return p, nil
+}
+
+// Clone deep-copies a program.
+func Clone(p *isa.Program) *isa.Program {
+	q := &isa.Program{Name: p.Name}
+	q.Code = append([]isa.Instr(nil), p.Code...)
+	q.Loops = append([]isa.Loop(nil), p.Loops...)
+	return q
+}
+
+// InsertAt splices instrs at position at, fixing branch targets and loop
+// extents. With exclusiveBranch=true, branches targeting exactly `at` are
+// NOT shifted (they land on the inserted code — used for the join so loop
+// exits deactivate the ghost). With inheritLoop=true the inserted
+// instructions adopt the loop annotation of the instruction currently at
+// `at` (used for updates inserted inside a loop). The automatic SWPF pass
+// (internal/swpf) reuses it.
+func InsertAt(p *isa.Program, at int, exclusiveBranch, inheritLoop bool, instrs ...isa.Instr) {
+	n := int32(len(instrs))
+	shift := func(t int32) int32 {
+		if t > int32(at) || (!exclusiveBranch && t == int32(at)) {
+			return t + n
+		}
+		return t
+	}
+	for i := range p.Code {
+		if p.Code[i].Op.IsBranch() {
+			p.Code[i].Target = shift(p.Code[i].Target)
+		}
+	}
+	loopAt := int32(-1)
+	if inheritLoop && at >= 0 && at < len(p.Code) {
+		loopAt = p.Code[at].Loop
+	}
+	for i := range instrs {
+		instrs[i].Loop = loopAt
+	}
+	for li := range p.Loops {
+		l := &p.Loops[li]
+		if l.Head >= at {
+			l.Head += int(n)
+		}
+		if l.End > at {
+			l.End += int(n)
+		}
+		if l.Backedge >= at {
+			l.Backedge += int(n)
+		}
+	}
+	p.Code = append(p.Code[:at], append(append([]isa.Instr(nil), instrs...), p.Code[at:]...)...)
+}
+
+// MaxRegUsed returns one past the highest register index the program
+// touches.
+func MaxRegUsed(p *isa.Program) int {
+	maxR := 0
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Op.HasDst() && int(in.Dst) >= maxR {
+			maxR = int(in.Dst) + 1
+		}
+		ns := in.Op.NumSrcs()
+		if ns >= 1 && int(in.Src1) >= maxR {
+			maxR = int(in.Src1) + 1
+		}
+		if ns >= 2 && int(in.Src2) >= maxR {
+			maxR = int(in.Src2) + 1
+		}
+	}
+	return maxR
+}

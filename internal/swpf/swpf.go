@@ -1,0 +1,181 @@
+// Package swpf implements Ainsworth & Jones-style automatic software
+// prefetch insertion [3] — the comparator technique of the paper's
+// evaluation. Given a program and the heuristic's target loads, it clones
+// each target's in-loop address-generation slice at a look-ahead distance
+// and inserts a prefetch:
+//
+//	for i ...:                      for i ...:
+//	    idx = index[i]        =>        pidx = index[i+D]      (cloned slice)
+//	    v   = values[idx]               prefetch values[pidx]
+//	    ...                             idx = index[i]
+//	                                    v   = values[idx]
+//
+// Lookahead is unguarded, assuming the source arrays carry padding (the
+// manually optimized configuration of [3]; the workload builders pad
+// their index arrays). The pass only handles targets whose address slice
+// is straight-line ALU/loads over the loop's induction variable — exactly
+// the "flat indirect loop" pattern the original technique targets; nested
+// or control-dependent addresses are rejected, which is why the paper's
+// SWPF cannot cover the Camel (c) form (§3).
+//
+// The evaluation's SWPF variants are hand-written by the workload
+// builders (the paper uses the manually optimized SWPF); this pass is the
+// automated counterpart, used by tests and available through the public
+// pipeline.
+package swpf
+
+import (
+	"fmt"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/slice"
+)
+
+// Insert returns a copy of p with a software prefetch inserted before
+// each target load. Targets whose address pattern is unsupported are
+// skipped; the count of inserted prefetches is returned.
+func Insert(p *isa.Program, targets []core.Target, distance int64) (*isa.Program, int, error) {
+	out := slice.Clone(p)
+	out.Name = p.Name + "-swpf"
+	inserted := 0
+	// Process from the highest PC down so earlier insertions do not
+	// shift later target positions.
+	ordered := append([]core.Target(nil), targets...)
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			if ordered[j].LoadPC > ordered[i].LoadPC {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+		}
+	}
+	for _, t := range ordered {
+		seq, err := buildPrefetchSeq(out, t, distance)
+		if err != nil {
+			continue // unsupported pattern: leave the load alone
+		}
+		slice.InsertAt(out, t.LoadPC, false, true, seq...)
+		inserted++
+	}
+	if inserted == 0 {
+		return nil, 0, fmt.Errorf("swpf: no supported targets in %q", p.Name)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("swpf: rewritten program invalid: %w", err)
+	}
+	return out, inserted, nil
+}
+
+// buildPrefetchSeq clones the address slice of target t at the given
+// look-ahead distance into fresh registers.
+func buildPrefetchSeq(p *isa.Program, t core.Target, distance int64) ([]isa.Instr, error) {
+	if t.LoopID < 0 || t.LoopID >= len(p.Loops) {
+		return nil, fmt.Errorf("swpf: bad loop id %d", t.LoopID)
+	}
+	l := p.Loops[t.LoopID]
+	if t.LoadPC < l.Head || t.LoadPC >= l.End {
+		return nil, fmt.Errorf("swpf: target outside its loop")
+	}
+	target := p.Code[t.LoadPC]
+	if target.Op != isa.OpLoad {
+		return nil, fmt.Errorf("swpf: target is not a load")
+	}
+
+	// The induction variable: the loop-head branch's first operand
+	// (CountedLoop's canonical shape). Loops guarded differently are
+	// unsupported.
+	head := p.Code[l.Head]
+	if !head.Op.IsCondBranch() {
+		return nil, fmt.Errorf("swpf: loop head is not a guard branch")
+	}
+	iv := head.Src1
+
+	// Walk backwards from the target collecting the address chain.
+	needed := map[isa.Reg]bool{target.Src1: true}
+	var chain []int
+	for pc := t.LoadPC - 1; pc > l.Head; pc-- {
+		in := &p.Code[pc]
+		if !in.Op.HasDst() || !needed[in.Dst] {
+			continue
+		}
+		if in.Dst == iv {
+			return nil, fmt.Errorf("swpf: address redefines the induction variable")
+		}
+		switch in.Op {
+		case isa.OpAtomicAdd:
+			return nil, fmt.Errorf("swpf: address depends on an atomic")
+		case isa.OpLoad, isa.OpConst, isa.OpMov, isa.OpAdd, isa.OpSub, isa.OpMul,
+			isa.OpDiv, isa.OpRem, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+			isa.OpShr, isa.OpMin, isa.OpMax, isa.OpAddI, isa.OpMulI, isa.OpAndI,
+			isa.OpXorI, isa.OpShlI, isa.OpShrI:
+			chain = append(chain, pc)
+			delete(needed, in.Dst)
+			ns := in.Op.NumSrcs()
+			if ns >= 1 && in.Src1 != iv {
+				needed[in.Src1] = true
+			}
+			if ns >= 2 && in.Src2 != iv {
+				needed[in.Src2] = true
+			}
+		default:
+			return nil, fmt.Errorf("swpf: unsupported op %s in address chain", in.Op)
+		}
+	}
+	// Whatever remains needed must be loop-invariant (defined before the
+	// loop) — verify nothing in the body redefines it.
+	for r := range needed {
+		for pc := l.Head; pc < l.End; pc++ {
+			in := &p.Code[pc]
+			if in.Op.HasDst() && in.Dst == r {
+				return nil, fmt.Errorf("swpf: address depends on loop-carried register r%d", r)
+			}
+		}
+	}
+
+	// Clone the chain in program order with fresh registers, substituting
+	// iv -> iv+distance.
+	maxReg := slice.MaxRegUsed(p)
+	next := isa.Reg(maxReg)
+	alloc := func() (isa.Reg, error) {
+		if int(next) >= isa.NumRegs {
+			return 0, fmt.Errorf("swpf: out of registers")
+		}
+		r := next
+		next++
+		return r, nil
+	}
+	sub := map[isa.Reg]isa.Reg{}
+	pi, err := alloc()
+	if err != nil {
+		return nil, err
+	}
+	sub[iv] = pi
+	seq := []isa.Instr{{Op: isa.OpAddI, Dst: pi, Src1: iv, Imm: distance}}
+
+	mapSrc := func(r isa.Reg) isa.Reg {
+		if m, ok := sub[r]; ok {
+			return m
+		}
+		return r
+	}
+	for k := len(chain) - 1; k >= 0; k-- {
+		in := p.Code[chain[k]]
+		fresh, err := alloc()
+		if err != nil {
+			return nil, err
+		}
+		ns := in.Op.NumSrcs()
+		if ns >= 1 {
+			in.Src1 = mapSrc(in.Src1)
+		}
+		if ns >= 2 {
+			in.Src2 = mapSrc(in.Src2)
+		}
+		sub[in.Dst] = fresh
+		in.Dst = fresh
+		in.Flags = 0
+		seq = append(seq, in)
+	}
+	seq = append(seq, isa.Instr{Op: isa.OpPrefetch, Src1: mapSrc(target.Src1), Imm: target.Imm})
+	return seq, nil
+}

@@ -1,0 +1,141 @@
+package swpf
+
+import (
+	"testing"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/graph"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+)
+
+// buildIndirect constructs an indirect-sum kernel with a padded index
+// array, returning the program, memory, target, and expected result.
+func buildIndirect(t *testing.T) (*isa.Program, *mem.Memory, core.Target, int64, int64) {
+	t.Helper()
+	const n, m, pad = 4096, 1 << 15, 64
+	mm := mem.New(m + n + pad + 256)
+	h := mem.NewHeap(mm)
+	rng := graph.NewRNG(5)
+	values := make([]int64, m)
+	for i := range values {
+		values[i] = int64(rng.Next() >> 40)
+	}
+	index := make([]int64, n+pad)
+	for i := 0; i < n; i++ {
+		index[i] = rng.Intn(m)
+	}
+	valuesA := h.AllocSlice(values)
+	indexA := h.AllocSlice(index)
+	out := h.Alloc(1)
+
+	var want int64
+	for i := 0; i < n; i++ {
+		want += values[index[i]]
+	}
+
+	b := isa.NewBuilder("swpf-victim")
+	b.Func("main")
+	sum := b.Imm(0)
+	valuesR := b.Imm(valuesA)
+	indexR := b.Imm(indexA)
+	lo := b.Imm(0)
+	hi := b.Imm(n)
+	var loadPC, loopID int
+	loopID = b.CountedLoop("hot", lo, hi, func(i isa.Reg) {
+		a := b.Reg()
+		b.Add(a, indexR, i)
+		idx := b.Reg()
+		b.Load(idx, a, 0)
+		va := b.Reg()
+		b.Add(va, valuesR, idx)
+		v := b.Reg()
+		loadPC = b.Load(v, va, 0)
+		b.MarkTarget()
+		b.Add(sum, sum, v)
+	})
+	outR := b.Imm(out)
+	b.Store(outR, 0, sum)
+	b.Halt()
+	return b.MustBuild(), mm, core.Target{LoadPC: loadPC, LoopID: loopID}, out, want
+}
+
+func TestInsertPreservesSemantics(t *testing.T) {
+	p, mm, target, out, want := buildIndirect(t)
+	rp, n, err := Insert(p, []core.Target{target}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("inserted %d prefetches, want 1", n)
+	}
+	if _, err := isa.Interp(rp, mm, nil, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := mm.LoadWord(out); got != want {
+		t.Errorf("result %d, want %d", got, want)
+	}
+}
+
+func TestInsertedPrefetchSpeedsUp(t *testing.T) {
+	p, mm, target, out, want := buildIndirect(t)
+	base, err := sim.RunProgram(sim.DefaultConfig(), mm, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.LoadWord(out) != want {
+		t.Fatal("baseline run wrong")
+	}
+
+	p2, mm2, target2, out2, want2 := buildIndirect(t)
+	_ = target
+	rp, _, err := Insert(p2, []core.Target{target2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := sim.RunProgram(sim.DefaultConfig(), mm2, rp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm2.LoadWord(out2) != want2 {
+		t.Fatal("prefetch run wrong")
+	}
+	if pf.Prefetches == 0 {
+		t.Error("no prefetches executed")
+	}
+	if pf.Cycles >= base.Cycles {
+		t.Errorf("swpf did not speed up the flat indirect loop: %d vs %d", pf.Cycles, base.Cycles)
+	}
+}
+
+func TestInsertRejectsNonLoadTarget(t *testing.T) {
+	p, _, target, _, _ := buildIndirect(t)
+	target.LoadPC-- // an Add, not a load
+	if _, _, err := Insert(p, []core.Target{target}, 16); err == nil {
+		t.Error("non-load target accepted")
+	}
+}
+
+func TestInsertRejectsLoopCarriedAddress(t *testing.T) {
+	// A pointer chase: the address depends on the previous iteration's
+	// load — not coverable by SWPF (that is Ghost Threading's territory).
+	mm := mem.New(4096)
+	for i := int64(0); i < 63; i++ {
+		mm.StoreWord(64+i, 64+i+1)
+	}
+	b := isa.NewBuilder("chase")
+	ptr := b.Imm(64)
+	lo := b.Imm(0)
+	hi := b.Imm(32)
+	var loadPC, loopID int
+	loopID = b.CountedLoop("hot", lo, hi, func(i isa.Reg) {
+		loadPC = b.Load(ptr, ptr, 0)
+		b.MarkTarget()
+	})
+	b.Halt()
+	p := b.MustBuild()
+	if _, _, err := Insert(p, []core.Target{{LoadPC: loadPC, LoopID: loopID}}, 16); err == nil {
+		t.Error("loop-carried address accepted")
+	}
+}

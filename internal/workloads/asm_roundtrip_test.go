@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"testing"
+
+	"ghostthread/internal/isa"
+)
+
+// TestAllProgramsRoundTripThroughAssembler: every program this repository
+// generates — all workloads, all variants, all helpers — must survive
+// Dump/Parse unchanged. This exercises the assembler against the full
+// range of real control flow and doubles as a structural validator for
+// every builder.
+func TestAllProgramsRoundTripThroughAssembler(t *testing.T) {
+	for _, wn := range AllWorkloadNames() {
+		build, err := Lookup(wn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := build(ProfileOptions())
+		for _, vname := range VariantNames {
+			v := inst.VariantByName(vname)
+			if v == nil {
+				continue
+			}
+			progs := append([]*isa.Program{v.Main}, v.Helpers...)
+			for _, p := range progs {
+				q, err := isa.Parse(isa.Dump(p))
+				if err != nil {
+					t.Errorf("%s/%s/%s: %v", wn, vname, p.Name, err)
+					continue
+				}
+				if len(q.Code) != len(p.Code) || len(q.Loops) != len(p.Loops) {
+					t.Errorf("%s/%s/%s: round trip changed sizes", wn, vname, p.Name)
+					continue
+				}
+				for i := range p.Code {
+					if p.Code[i] != q.Code[i] {
+						t.Errorf("%s/%s/%s: instr %d changed: %+v != %+v",
+							wn, vname, p.Name, i, p.Code[i], q.Code[i])
+						break
+					}
+				}
+				for i := range p.Loops {
+					if p.Loops[i] != q.Loops[i] {
+						t.Errorf("%s/%s/%s: loop %d changed", wn, vname, p.Name, i)
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package workloads builds every benchmark the paper evaluates as an IR
+// program over simulated memory, in all its technique variants:
+//
+//	Baseline — the original single-threaded kernel
+//	SWPF     — Ainsworth & Jones software prefetching (manually optimised:
+//	           padded arrays, unguarded lookahead)
+//	Parallel — the "SMT OpenMP" two-context version (nil when the paper
+//	           says parallelization requires rewriting: NAS-IS, kangaroo)
+//	Ghost    — the hand-extracted ghost-thread version (paper §4.2)
+//
+// The compiler-extracted ghost variant is *not* built here; internal/slice
+// derives it automatically from the annotated Baseline program, mirroring
+// the paper's LLVM pass.
+//
+// Each constructor also computes the expected result with a plain Go
+// implementation of the same algorithm, so Check can validate that every
+// variant leaves identical application state — ghost threads must never
+// change program semantics.
+//
+// The 34 evaluated workloads (figures 6-8) are:
+//
+//	bc.{kron,twitter,urand,road,web}    Brandes betweenness centrality
+//	bfs.{kron,twitter,urand,road,web}   top-down breadth-first search
+//	cc.{kron,twitter,urand,road,web}    Afforest-style connected components
+//	pr.{kron,twitter,urand,road,web}    pull PageRank (fixed-point)
+//	sssp.{kron,twitter,urand,road,web}  worklist shortest paths
+//	tc.{kron,twitter,urand,road}        ordered triangle counting
+//	camel, kangaroo                     Ainsworth & Jones synthetics
+//	hj2, hj8                            hash join (2 / 8 hash rounds)
+//	nas-is                              NAS integer sort (bucket histogram)
+//
+// plus the figure-3 Camel forms (camel-par, camel-ghost) and the
+// figure-9 multi-core builds (multicore.go, multicore_bfs.go).
+package workloads

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/graph"
+	"ghostthread/internal/mem"
+)
+
+// GraphNames are the five GAP inputs (paper table 1), scaled down per
+// DESIGN.md §7.
+var GraphNames = []string{"kron", "twitter", "urand", "road", "web"}
+
+// gapGraph generates the named input at the given scale. Directed output;
+// kernels that need symmetry call graph.Undirected themselves.
+func gapGraph(name string, scale Scale) *graph.CSR {
+	eval := scale == ScaleEval
+	switch name {
+	case "kron":
+		if eval {
+			return graph.Kron(13, 16, 27)
+		}
+		return graph.Kron(12, 12, 26)
+	case "urand":
+		if eval {
+			return graph.URand(8192, 16, 27)
+		}
+		return graph.URand(4096, 12, 26)
+	case "twitter":
+		if eval {
+			return graph.Twitter(8192, 16, 61)
+		}
+		return graph.Twitter(4096, 12, 60)
+	case "road":
+		if eval {
+			return graph.Road(96, 7)
+		}
+		return graph.Road(64, 6)
+	case "web":
+		if eval {
+			return graph.Web(8192, 11)
+		}
+		return graph.Web(4096, 10)
+	}
+	panic(fmt.Sprintf("workloads: unknown graph %q", name))
+}
+
+// gapData is a CSR image laid out in simulated memory plus the shared
+// bookkeeping words every GAP kernel needs.
+type gapData struct {
+	g        *graph.CSR
+	offsets  int64 // base address of Offsets (N+1 words)
+	neigh    int64 // base address of Neigh (E words)
+	out      int64 // result checksum word
+	partial  int64 // worker partial word
+	partial2 int64
+	mainCtr  int64
+	ghostCtr int64
+}
+
+// swpfPad is the slack appended to index-style arrays so the software
+// prefetcher can read [i + distance] without bounds guards, like the
+// padded arrays Ainsworth & Jones' optimized SWPF uses.
+const swpfPad = 64
+
+// loadGraph copies g into the heap and allocates the bookkeeping words.
+// The adjacency array is padded by swpfPad words (zeros: node 0) so SWPF
+// lookahead needs no clamping.
+func loadGraph(h *mem.Heap, g *graph.CSR) *gapData {
+	d := &gapData{g: g}
+	d.offsets = h.AllocSlice(g.Offsets)
+	d.neigh = h.AllocSlice(append(append([]int64(nil), g.Neigh...), make([]int64, swpfPad)...))
+	d.out = h.Alloc(1)
+	d.partial = h.Alloc(1)
+	d.partial2 = h.Alloc(1)
+	d.mainCtr = h.Alloc(1)
+	d.ghostCtr = h.Alloc(1)
+	return d
+}
+
+// gapMemWords sizes the memory for a kernel over g with extra per-node
+// and per-edge arrays.
+func gapMemWords(g *graph.CSR, perNodeArrays, perEdgeArrays int64) int64 {
+	return (g.N+1)*(perNodeArrays+2) + (g.Edges()+swpfPad)*(perEdgeArrays+1) + 8192
+}
+
+// counters returns the instance counters for d.
+func (d *gapData) counters() core.Counters {
+	return core.Counters{MainAddr: d.mainCtr, GhostAddr: d.ghostCtr}
+}
+
+// gapKernels maps kernel names to per-graph constructors; each gap_*.go
+// file registers itself in init.
+var gapKernels = map[string]func(graphName string, opts Options) *Instance{}
+
+// registerGAP registers kernel × graph combinations in the workload
+// registry. The paper evaluates 34 workloads: 6 kernels × 5 graphs minus
+// tc.web (see DESIGN.md §7) plus the 5 HPC/database benchmarks.
+func registerGAP(kernel string, build func(graphName string, opts Options) *Instance) {
+	gapKernels[kernel] = build
+	for _, gn := range GraphNames {
+		if kernel == "tc" && gn == "web" {
+			continue
+		}
+		gn := gn
+		registry[kernel+"."+gn] = func(o Options) *Instance { return build(gn, o) }
+	}
+}
+
+// GAPWorkloadNames returns the 29 kernel.graph names in figure order.
+func GAPWorkloadNames() []string {
+	var names []string
+	for _, k := range []string{"bc", "bfs", "cc", "pr", "sssp", "tc"} {
+		for _, gn := range GraphNames {
+			if k == "tc" && gn == "web" {
+				continue
+			}
+			names = append(names, k+"."+gn)
+		}
+	}
+	return names
+}
+
+// AllWorkloadNames returns the full 34-workload evaluation set in the
+// order the figures plot them.
+func AllWorkloadNames() []string {
+	return append(GAPWorkloadNames(), "camel", "kangaroo", "hj2", "hj8", "nas-is")
+}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps workload names to builders. GAP kernels register
+// themselves from gap.go; the HPC/database workloads are listed here.
+var registry = map[string]Builder{
+	"camel":       func(o Options) *Instance { return NewCamel(CamelOriginal, o) },
+	"camel-par":   func(o Options) *Instance { return NewCamel(CamelParallel, o) },
+	"camel-ghost": func(o Options) *Instance { return NewCamel(CamelGhost, o) },
+	"kangaroo":    NewKangaroo,
+	"nas-is":      NewNASIS,
+	"hj2":         func(o Options) *Instance { return NewHashJoin(2, o) },
+	"hj8":         func(o Options) *Instance { return NewHashJoin(8, o) },
+}
+
+// Lookup returns the named workload builder.
+func Lookup(name string) (Builder, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (try one of %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names lists registered workloads, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"testing"
+
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+)
+
+// hpcBuilders are the non-GAP workloads (graph kernels are tested in
+// gap_test.go).
+func hpcBuilders() map[string]Builder {
+	return map[string]Builder{
+		"camel":       func(o Options) *Instance { return NewCamel(CamelOriginal, o) },
+		"camel-par":   func(o Options) *Instance { return NewCamel(CamelParallel, o) },
+		"camel-ghost": func(o Options) *Instance { return NewCamel(CamelGhost, o) },
+		"kangaroo":    NewKangaroo,
+		"nas-is":      NewNASIS,
+		"hj2":         func(o Options) *Instance { return NewHashJoin(2, o) },
+		"hj8":         func(o Options) *Instance { return NewHashJoin(8, o) },
+	}
+}
+
+// interpVariant functionally executes a variant and checks the result.
+func interpVariant(t *testing.T, name, vname string, build Builder) {
+	t.Helper()
+	inst := build(ProfileOptions())
+	v := inst.VariantByName(vname)
+	if v == nil {
+		t.Skipf("%s has no %s variant", name, vname)
+	}
+	if _, err := isa.Interp(v.Main, inst.Mem, v.Helpers, 200_000_000); err != nil {
+		t.Fatalf("%s/%s: %v", name, vname, err)
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		t.Errorf("%s/%s: %v", name, vname, err)
+	}
+}
+
+func TestHPCVariantsFunctionallyCorrect(t *testing.T) {
+	for name, build := range hpcBuilders() {
+		for _, vname := range VariantNames {
+			t.Run(name+"/"+vname, func(t *testing.T) {
+				interpVariant(t, name, vname, build)
+			})
+		}
+	}
+}
+
+// runVariant runs a variant on the simulated machine and checks results.
+func runVariant(t *testing.T, inst *Instance, vname string) (sim.Result, bool) {
+	t.Helper()
+	v := inst.VariantByName(vname)
+	if v == nil {
+		return sim.Result{}, false
+	}
+	res, err := sim.RunProgram(sim.DefaultConfig(), inst.Mem, v.Main, v.Helpers)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", inst.Name, vname, err)
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		t.Fatalf("%s/%s after timed run: %v", inst.Name, vname, err)
+	}
+	return res, true
+}
+
+func TestHPCVariantsCorrectOnTimedCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed-core runs are slow")
+	}
+	for name, build := range hpcBuilders() {
+		for _, vname := range VariantNames {
+			t.Run(name+"/"+vname, func(t *testing.T) {
+				inst := build(ProfileOptions())
+				if _, ok := runVariant(t, inst, vname); !ok {
+					t.Skipf("%s has no %s variant", name, vname)
+				}
+			})
+		}
+	}
+}
+
+func TestGhostVariantLeavesOnlyCountersBehind(t *testing.T) {
+	// A ghost run and a baseline run must produce identical memory,
+	// except for the sync counter words: ghost threads modify no
+	// application state (paper §4).
+	build := func(o Options) *Instance { return NewCamel(CamelOriginal, o) }
+
+	base := build(ProfileOptions())
+	if _, err := isa.Interp(base.Baseline.Main, base.Mem, nil, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ghost := build(ProfileOptions())
+	if _, err := isa.Interp(ghost.Ghost.Main, ghost.Mem, ghost.Ghost.Helpers, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	skip := map[int64]bool{
+		ghost.Counters.MainAddr:  true,
+		ghost.Counters.GhostAddr: true,
+	}
+	for a := int64(0); a < base.Mem.Size(); a++ {
+		if skip[a] {
+			continue
+		}
+		if base.Mem.LoadWord(a) != ghost.Mem.LoadWord(a) {
+			t.Fatalf("memory differs at %d: baseline %d, ghost %d",
+				a, base.Mem.LoadWord(a), ghost.Mem.LoadWord(a))
+		}
+	}
+}
+
+func TestEvalScaleLargerThanProfileScale(t *testing.T) {
+	for name, build := range hpcBuilders() {
+		pi := build(ProfileOptions())
+		ei := build(DefaultOptions())
+		if ei.Mem.Size() <= pi.Mem.Size() {
+			t.Errorf("%s: eval memory %d not larger than profiling memory %d",
+				name, ei.Mem.Size(), pi.Mem.Size())
+		}
+	}
+}
+
+func TestInstanceVariantLookup(t *testing.T) {
+	inst := NewKangaroo(ProfileOptions())
+	if inst.VariantByName("baseline") != inst.Baseline {
+		t.Error("baseline lookup failed")
+	}
+	if inst.VariantByName("smt-openmp") != nil {
+		t.Error("kangaroo must have no parallel variant (paper §6)")
+	}
+	if inst.VariantByName("nonsense") != nil {
+		t.Error("unknown variant should be nil")
+	}
+}
+
+func TestHashIRMatchesGo(t *testing.T) {
+	b := isa.NewBuilder("hash")
+	x := b.Imm(123456789)
+	tmp := b.Reg()
+	emitHash(b, x, tmp, 3)
+	out := b.Imm(100)
+	b.Store(out, 0, x)
+	b.Halt()
+	p := b.MustBuild()
+	m := mem.New(256)
+	if _, err := isa.Interp(p, m, nil, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.LoadWord(100), hashN(123456789, 3); got != want {
+		t.Errorf("IR hash = %d, Go hash = %d", got, want)
+	}
+}
+
+func TestGhostExecutesFewerInstructionsThanMain(t *testing.T) {
+	// The p-slice premise: the ghost thread "executes fewer instructions
+	// than the main one and naturally runs ahead" (paper §1). Statically
+	// its sync segment is large but rarely taken; dynamically it must
+	// commit fewer instructions than the main thread over the same loop.
+	inst := NewCamel(CamelOriginal, ProfileOptions())
+	s := sim.New(sim.DefaultConfig(), inst.Mem)
+	s.Load(0, inst.Ghost.Main, inst.Ghost.Helpers)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		t.Fatal(err)
+	}
+	mainN := s.Core(0).Committed(0)
+	ghostN := s.Core(0).Committed(1)
+	if ghostN == 0 {
+		t.Fatal("ghost committed nothing")
+	}
+	if ghostN >= mainN {
+		t.Errorf("ghost committed %d instructions, main %d — slice not distilled", ghostN, mainN)
+	}
+}
+
+func TestCamelFormsDifferStructurally(t *testing.T) {
+	a := NewCamel(CamelOriginal, ProfileOptions())
+	c := NewCamel(CamelGhost, ProfileOptions())
+	// Form (c) must be a nested loop; form (a) flat.
+	if len(a.Baseline.Main.Loops) != 1 {
+		t.Errorf("camel baseline has %d loops, want 1", len(a.Baseline.Main.Loops))
+	}
+	nested := false
+	for _, l := range c.Baseline.Main.Loops {
+		if l.Parent >= 0 {
+			nested = true
+		}
+	}
+	if !nested {
+		t.Error("camel-ghost baseline has no nested loop")
+	}
+}
