@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race lint ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Static analysis sweep: every registered workload x variant through the
+# verifier battery (exit 1 on any error-severity finding).
+lint:
+	$(GO) run ./cmd/gtlint -all
+
+ci: vet build race lint

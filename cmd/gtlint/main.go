@@ -1,0 +1,88 @@
+// Command gtlint runs the static analyses over registered workloads:
+// ISA validation, loop-annotation cross-checks, the ghost-safety proof,
+// the synchronization-segment lint, the Parallel-variant race lint, and
+// an end-to-end compiler extraction with an optional minimality report.
+//
+//	gtlint -all              lint every registered workload
+//	gtlint -workload camel   lint one workload
+//	gtlint -all -v           include info findings (slice minimality)
+//
+// Exit status is 1 when any error-severity finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/lint"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "lint every registered workload")
+		workload = flag.String("workload", "", "lint a single workload (see gtrun -list)")
+		verbose  = flag.Bool("v", false, "also print info-severity findings (minimality report)")
+		eval     = flag.Bool("eval-scale", false, "lint evaluation-scale instances instead of profile-scale")
+	)
+	flag.Parse()
+
+	opts := lint.Options{Minimality: *verbose}
+	if *eval {
+		opts.Scale = workloads.ScaleEval
+	}
+
+	reports := map[string]*analysis.Report{}
+	switch {
+	case *all:
+		var err error
+		reports, err = lint.All(opts)
+		if err != nil {
+			fatal(err)
+		}
+	case *workload != "":
+		rep, err := lint.Workload(*workload, opts)
+		if err != nil {
+			fatal(err)
+		}
+		reports[*workload] = rep
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(reports))
+	for n := range reports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	errs, warns := 0, 0
+	for _, n := range names {
+		for _, f := range reports[n].Findings {
+			switch f.Severity {
+			case analysis.SevError:
+				errs++
+			case analysis.SevWarn:
+				warns++
+			case analysis.SevInfo:
+				if !*verbose {
+					continue
+				}
+			}
+			fmt.Printf("%s: %s\n", n, f)
+		}
+	}
+	fmt.Printf("gtlint: %d workloads, %d errors, %d warnings\n", len(names), errs, warns)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtlint:", err)
+	os.Exit(1)
+}

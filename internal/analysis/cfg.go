@@ -1,0 +1,118 @@
+package analysis
+
+import "ghostthread/internal/isa"
+
+// Block is one basic block: instructions [Start, End) with at most one
+// branch, as the last instruction.
+type Block struct {
+	ID         int
+	Start, End int
+	Succs      []int
+	Preds      []int
+}
+
+// CFG is the control flow graph of a program. Block 0 contains the entry
+// instruction. Blocks unreachable from the entry have Reachable false;
+// the dominator and dataflow passes ignore them.
+type CFG struct {
+	Prog    *isa.Program
+	Blocks  []Block
+	BlockOf []int // instruction index -> block ID
+	RPO     []int // reverse postorder over reachable blocks
+
+	reachable []bool
+}
+
+// BuildCFG partitions the program into basic blocks and links them.
+func BuildCFG(p *isa.Program) *CFG {
+	n := len(p.Code)
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for pc := 0; pc < n; pc++ {
+		in := &p.Code[pc]
+		if in.Op.IsBranch() {
+			if t := int(in.Target); t >= 0 && t < n {
+				leader[t] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+		if in.Op == isa.OpHalt && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+
+	g := &CFG{Prog: p, BlockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, Block{ID: len(g.Blocks), Start: pc})
+		}
+		g.BlockOf[pc] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		if i+1 < len(g.Blocks) {
+			b.End = g.Blocks[i+1].Start
+		} else {
+			b.End = n
+		}
+	}
+
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := &p.Code[b.End-1]
+		switch {
+		case last.Op == isa.OpHalt:
+			// no successors
+		case last.Op == isa.OpJmp:
+			addEdge(i, g.BlockOf[last.Target])
+		case last.Op.IsCondBranch():
+			addEdge(i, g.BlockOf[last.Target])
+			if b.End < n {
+				addEdge(i, g.BlockOf[b.End]) // fallthrough
+			}
+		default:
+			if b.End < n {
+				addEdge(i, g.BlockOf[b.End])
+			}
+		}
+	}
+
+	// Reverse postorder from the entry block.
+	g.reachable = make([]bool, len(g.Blocks))
+	var post []int
+	var visit func(int)
+	visit = func(b int) {
+		g.reachable[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !g.reachable[s] {
+				visit(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if len(g.Blocks) > 0 {
+		visit(0)
+	}
+	g.RPO = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.RPO = append(g.RPO, post[i])
+	}
+	return g
+}
+
+// Reachable reports whether the block is reachable from the entry.
+func (g *CFG) Reachable(block int) bool { return g.reachable[block] }
+
+// ReachablePC reports whether the instruction is reachable from the entry.
+func (g *CFG) ReachablePC(pc int) bool { return g.reachable[g.BlockOf[pc]] }
+
+// Terminator returns the PC of the block's last instruction.
+func (g *CFG) Terminator(block int) int { return g.Blocks[block].End - 1 }

@@ -1,0 +1,72 @@
+package analysis
+
+// Dominators computes the immediate-dominator tree with the
+// Cooper-Harvey-Kennedy iterative algorithm over the reverse postorder.
+// idom[entry] == entry; unreachable blocks carry -1.
+func (g *CFG) Dominators() []int {
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	if len(g.RPO) == 0 {
+		return idom
+	}
+	rpoIndex := make([]int, len(g.Blocks))
+	for i, b := range g.RPO {
+		rpoIndex[b] = i
+	}
+	entry := g.RPO[0]
+	idom[entry] = entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO[1:] {
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under the given
+// idom tree (every block dominates itself).
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] < 0 || idom[a] < 0 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == b {
+			return false // reached the entry
+		}
+		b = next
+	}
+}

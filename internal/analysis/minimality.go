@@ -1,0 +1,83 @@
+package analysis
+
+import "ghostthread/internal/isa"
+
+// pureOps are side-effect-free value producers: safe to call dead when
+// unused and hoistable when loop-invariant.
+func pureOp(op isa.Op) bool {
+	switch op {
+	case isa.OpConst, isa.OpMov, isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv,
+		isa.OpRem, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpMin, isa.OpMax, isa.OpAddI, isa.OpMulI, isa.OpAndI,
+		isa.OpXorI, isa.OpShlI, isa.OpShrI:
+		return true
+	}
+	return false
+}
+
+// ReportMinimality audits how tight a compiler-extracted ghost is: a
+// p-slice should contain nothing but the address chain of the prefetch
+// and its synchronization segment. It reports (as information, never
+// errors — an over-fat slice is slow, not wrong):
+//
+//   - dead instructions: a pure value computation whose result reaches no
+//     use, or a load nothing consumes (a dead load still costs a cache
+//     access on the ghost's SMT context, the exact overhead slicing is
+//     meant to shed);
+//   - loop-invariant instructions: pure computations inside a loop whose
+//     operands are all defined outside it, re-executed every iteration;
+//   - a summary of instruction counts (total / sync / dead / invariant).
+func ReportMinimality(p *isa.Program) []Finding {
+	g := BuildCFG(p)
+	idom := g.Dominators()
+	loops := g.NaturalLoops(idom)
+	du := g.ReachingDefs()
+
+	var out []Finding
+	dead, invariant, syncN, reachableN := 0, 0, 0, 0
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if !g.ReachablePC(pc) {
+			continue
+		}
+		reachableN++
+		if in.HasFlag(isa.FlagSync) {
+			syncN++
+			continue // the sync segment is fixed overhead, not slice fat
+		}
+		if (pureOp(in.Op) || in.Op == isa.OpLoad) && in.Op.HasDst() && len(du.UsesOf[pc]) == 0 {
+			dead++
+			out = append(out, finding("minimality", p, pc, SevInfo,
+				"dead instruction: result of %s is never used", in.Op))
+			continue
+		}
+		li := loops.InnermostLoop(g.BlockOf[pc])
+		if li >= 0 && pureOp(in.Op) && in.Op.NumSrcs() > 0 && in.Dst != in.Src1 &&
+			(in.Op.NumSrcs() < 2 || in.Dst != in.Src2) {
+			l := &loops.Loops[li]
+			allOutside := true
+			for _, r := range srcRegs(in) {
+				defs := du.DefsOfReg(pc, r)
+				if len(defs) == 0 {
+					allOutside = false // live-in from spawn: can't judge
+					break
+				}
+				for _, d := range defs {
+					if l.Blocks[g.BlockOf[d]] {
+						allOutside = false
+						break
+					}
+				}
+			}
+			if allOutside {
+				invariant++
+				out = append(out, finding("minimality", p, pc, SevInfo,
+					"loop-invariant instruction: %s recomputes the same value every iteration", in.Op))
+			}
+		}
+	}
+	out = append(out, finding("minimality", p, 0, SevInfo,
+		"slice profile: %d reachable instructions (%d sync, %d dead, %d loop-invariant)",
+		reachableN, syncN, dead, invariant))
+	return out
+}

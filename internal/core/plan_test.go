@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/workloads"
+)
+
+// TestPlanRejectsRogueGhost hands Plan a helper that stores outside its
+// private counter word; deployment must be refused with ErrUnsafeGhost.
+func TestPlanRejectsRogueGhost(t *testing.T) {
+	b := isa.NewBuilder("rogue-ghost")
+	base := b.Imm(2000)
+	x := b.Imm(1)
+	zero := b.Imm(0)
+	lim := b.Imm(16)
+	b.CountedLoop("l", zero, lim, func(i isa.Reg) {
+		a := b.Reg()
+		b.Add(a, base, i)
+		b.Store(a, 0, x)
+	})
+	b.Halt()
+	ghost := b.MustBuild()
+
+	rep, err := core.Plan([]*isa.Program{ghost}, core.Counters{MainAddr: 9000, GhostAddr: 9001})
+	if !errors.Is(err, core.ErrUnsafeGhost) {
+		t.Fatalf("Plan error = %v, want ErrUnsafeGhost", err)
+	}
+	if rep == nil || !rep.HasErrors() {
+		t.Fatalf("Plan report carries no error findings: %+v", rep)
+	}
+}
+
+// TestPlanAcceptsRegisteredGhosts proves every manual ghost in the
+// workload registry passes the safety plan — the same gate the harness
+// applies before running the ghost variant.
+func TestPlanAcceptsRegisteredGhosts(t *testing.T) {
+	found := false
+	for _, e := range workloads.Entries() {
+		inst := e.Build(workloads.ProfileOptions())
+		if inst.Ghost == nil {
+			continue
+		}
+		found = true
+		if _, err := core.Plan(inst.Ghost.Helpers, inst.Counters); err != nil {
+			t.Errorf("%s: registered ghost refused: %v", e.Name, err)
+		}
+	}
+	if !found {
+		t.Fatal("no registered workload has a ghost variant")
+	}
+}
+
+// TestPlanToleratesNilHelpers mirrors variants whose helper slots are
+// sparse.
+func TestPlanToleratesNilHelpers(t *testing.T) {
+	if _, err := core.Plan([]*isa.Program{nil, nil}, core.Counters{}); err != nil {
+		t.Fatalf("nil helpers rejected: %v", err)
+	}
+}

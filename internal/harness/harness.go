@@ -130,10 +130,18 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 		record(TechSMT, res, err)
 	}
 
-	// Ghost Threading: the heuristic's choice.
+	// Ghost Threading: the heuristic's choice. Manual ghosts pass the
+	// static safety plan before they are allowed near the simulator.
 	switch decision {
 	case core.UseGhost:
-		res, err = runVariant("ghost")
+		if probe.Ghost != nil {
+			_, err = core.Plan(probe.Ghost.Helpers, probe.Counters)
+		}
+		if err != nil {
+			err = fmt.Errorf("ghost plan: %w", err)
+		} else {
+			res, err = runVariant("ghost")
+		}
 	case core.UseParallel:
 		res, err = runVariant("smt-openmp")
 	default:

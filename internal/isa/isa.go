@@ -251,6 +251,13 @@ func (p *Program) Validate() error {
 		} else if n >= 2 && in.Src2 >= NumRegs {
 			return fmt.Errorf("isa: %q pc=%d: src2 register %d out of range", p.Name, i, in.Src2)
 		}
+		if in.Op == OpPrefetch && (in.Dst != 0 || in.Src2 != 0) {
+			return fmt.Errorf("isa: %q pc=%d: prefetch carries operands beyond its address (dst r%d, src2 r%d); it produces no value",
+				p.Name, i, in.Dst, in.Src2)
+		}
+		if in.Op == OpSerialize && (in.Dst != 0 || in.Src1 != 0 || in.Src2 != 0 || in.Imm != 0 || in.Target != 0) {
+			return fmt.Errorf("isa: %q pc=%d: serialize takes no operands", p.Name, i)
+		}
 		if lid := in.Loop; lid >= 0 {
 			if int(lid) >= len(p.Loops) {
 				return fmt.Errorf("isa: %q pc=%d: loop id %d out of range", p.Name, i, lid)
@@ -265,8 +272,13 @@ func (p *Program) Validate() error {
 	if !haltSeen {
 		return fmt.Errorf("isa: program %q has no halt", p.Name)
 	}
+	seenLoopIDs := make(map[int]int, len(p.Loops))
 	for i := range p.Loops {
 		l := &p.Loops[i]
+		if prev, dup := seenLoopIDs[l.ID]; dup {
+			return fmt.Errorf("isa: %q loops %d and %d share annotation ID %d", p.Name, prev, i, l.ID)
+		}
+		seenLoopIDs[l.ID] = i
 		if l.Head < 0 || l.End > len(p.Code) || l.Head > l.End {
 			return fmt.Errorf("isa: %q loop %d (%s): bad body [%d,%d)", p.Name, l.ID, l.Name, l.Head, l.End)
 		}

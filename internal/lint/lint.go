@@ -1,0 +1,146 @@
+// Package lint sweeps the static analyses over built workloads: every
+// variant of every registered workload is validated, its loop annotations
+// cross-checked against the reconstructed CFG, ghost helpers put through
+// the safety plan, Parallel variants through the race lint, and the
+// compiler extractor exercised end to end (with a minimality report on
+// the slice it produces). cmd/gtlint and the tier-1 sweep test are thin
+// wrappers around Workload/All.
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/core"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/slice"
+	"ghostthread/internal/workloads"
+)
+
+// Options configures a lint run.
+type Options struct {
+	// Minimality includes the info-severity slice-minimality report for
+	// compiler-extracted ghosts.
+	Minimality bool
+	// Scale selects the instance size to lint. The analyses are static,
+	// so the reduced profiling inputs (the default zero value) are
+	// representative and much cheaper to build.
+	Scale workloads.Scale
+}
+
+// Workload lints every variant of one registered workload.
+func Workload(name string, opts Options) (*analysis.Report, error) {
+	build, err := workloads.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	wopts := workloads.ProfileOptions()
+	if opts.Scale == workloads.ScaleEval {
+		wopts = workloads.DefaultOptions()
+	}
+	inst := build(wopts)
+	rep := &analysis.Report{}
+
+	// Structural checks on every program of every variant: ISA-level
+	// validation plus the loop-annotation cross-check.
+	seen := map[*isa.Program]bool{}
+	for _, nv := range inst.Variants() {
+		progs := append([]*isa.Program{nv.Variant.Main}, nv.Variant.Helpers...)
+		for _, p := range progs {
+			if p == nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			if err := p.Validate(); err != nil {
+				rep.Add(analysis.Finding{
+					Checker: "validate", Program: p.Name, PC: -1,
+					Severity: analysis.SevError, Msg: err.Error(),
+				})
+				continue
+			}
+			g := analysis.BuildCFG(p)
+			rep.Add(g.CrossCheckLoops(g.NaturalLoops(g.Dominators()))...)
+		}
+	}
+
+	// Manual ghost helpers: the full safety plan.
+	if inst.Ghost != nil {
+		planRep, _ := core.Plan(inst.Ghost.Helpers, inst.Counters)
+		rep.Add(planRep.Findings...)
+	}
+
+	// Parallel (SMT-OpenMP) variants: the race lint, downgraded to
+	// warnings for relaxed-consistency kernels.
+	if inst.Parallel != nil {
+		rep.Add(analysis.CheckRaces(inst.Parallel.Main, inst.Parallel.Helpers, inst.Relaxed())...)
+	}
+
+	// Compiler extraction from the annotated baseline. The extractor runs
+	// the safety plan itself; an unsliceable program is merely reported.
+	if targets := StaticTargets(inst.Baseline.Main); len(targets) > 0 {
+		ext, err := slice.Extract(inst.Baseline.Main, targets, wopts.Sync, inst.Counters)
+		switch {
+		case errors.Is(err, slice.ErrUnsliceable):
+			rep.Add(analysis.Finding{
+				Checker: "extract", Program: inst.Baseline.Main.Name, PC: -1,
+				Severity: analysis.SevWarn, Msg: err.Error(),
+			})
+		case err != nil:
+			rep.Add(analysis.Finding{
+				Checker: "extract", Program: inst.Baseline.Main.Name, PC: -1,
+				Severity: analysis.SevError, Msg: err.Error(),
+			})
+		case opts.Minimality:
+			rep.Add(analysis.ReportMinimality(ext.Ghost)...)
+		}
+	}
+
+	rep.Sort()
+	return rep, nil
+}
+
+// All lints every registered workload, returning per-workload reports in
+// name order.
+func All(opts Options) (map[string]*analysis.Report, error) {
+	out := map[string]*analysis.Report{}
+	for _, e := range workloads.Entries() {
+		rep, err := Workload(e.Name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", e.Name, err)
+		}
+		out[e.Name] = rep
+	}
+	return out, nil
+}
+
+// StaticTargets derives an extraction target list from the baseline's
+// programmer annotations alone (no profiling): every FlagTargetLoad load
+// inside an annotated loop, ordered deepest loop first so the primary
+// target — whose loop gets synchronised — is the innermost one, matching
+// what the profile-driven heuristic picks for these kernels.
+func StaticTargets(p *isa.Program) []core.Target {
+	depth := func(loop int32) int {
+		d := 0
+		for l := int(loop); l >= 0 && l < len(p.Loops); l = p.Loops[l].Parent {
+			d++
+		}
+		return d
+	}
+	var out []core.Target
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Op == isa.OpLoad && in.HasFlag(isa.FlagTargetLoad) && in.Loop >= 0 {
+			out = append(out, core.Target{LoadPC: pc, LoopID: int(in.Loop)})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := depth(int32(out[i].LoopID)), depth(int32(out[j].LoopID))
+		if di != dj {
+			return di > dj
+		}
+		return out[i].LoadPC < out[j].LoadPC
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/lint"
+	"ghostthread/internal/workloads"
+)
+
+// TestSweepAllWorkloads is the tier-1 analysis sweep: every variant of
+// every registered workload must come through the full checker battery
+// with zero error-severity findings. Race warnings are expected — the
+// relaxed-consistency graph kernels (bc/bfs/sssp) tolerate their races
+// by design and are downgraded, not silenced.
+func TestSweepAllWorkloads(t *testing.T) {
+	reports, err := lint.All(lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 30 {
+		t.Fatalf("sweep covered only %d workloads; registry should hold the full suite", len(reports))
+	}
+	raceWarn := false
+	for name, rep := range reports {
+		for _, f := range rep.Findings {
+			if f.Severity == analysis.SevError {
+				t.Errorf("%s: %s", name, f)
+			}
+			if f.Severity == analysis.SevWarn && f.Checker == "race" {
+				raceWarn = true
+			}
+		}
+	}
+	if !raceWarn {
+		t.Error("no race warnings from the relaxed graph kernels; the race lint may have gone blind")
+	}
+}
+
+func TestWorkloadMinimalityReport(t *testing.T) {
+	rep, err := lint.Workload("camel", lint.Options{Minimality: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Checker == "minimality" && f.Severity == analysis.SevInfo {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("minimality report missing for camel's extracted slice")
+	}
+}
+
+func TestWorkloadUnknown(t *testing.T) {
+	if _, err := lint.Workload("no-such-workload", lint.Options{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestStaticTargets checks the annotation-driven target derivation: the
+// camel baseline marks its indirect load, and the deepest-loop target
+// must come first.
+func TestStaticTargets(t *testing.T) {
+	build, err := workloads.Lookup("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := build(workloads.ProfileOptions())
+	targets := lint.StaticTargets(inst.Baseline.Main)
+	if len(targets) == 0 {
+		t.Fatal("no static targets derived from camel's annotations")
+	}
+	for _, tg := range targets {
+		if tg.LoopID < 0 || tg.LoopID >= len(inst.Baseline.Main.Loops) {
+			t.Fatalf("target loop %d out of range", tg.LoopID)
+		}
+	}
+}

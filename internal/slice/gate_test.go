@@ -1,0 +1,48 @@
+package slice
+
+import (
+	"errors"
+	"testing"
+
+	"ghostthread/internal/core"
+)
+
+// TestExtractNoTargetsUnsliceable: structural extraction failures carry
+// the typed ErrUnsliceable so callers can distinguish "can't slice this"
+// from real errors.
+func TestExtractNoTargetsUnsliceable(t *testing.T) {
+	base, _, _, ctr, _, _ := buildIndirect(t)
+	_, err := Extract(base, nil, core.DefaultSyncParams(), ctr)
+	if !errors.Is(err, ErrUnsliceable) {
+		t.Fatalf("Extract with no targets = %v, want ErrUnsliceable", err)
+	}
+}
+
+// TestExtractBadLoopUnsliceable: an out-of-range target loop is a
+// structural failure, not a crash.
+func TestExtractBadLoopUnsliceable(t *testing.T) {
+	base, _, target, ctr, _, _ := buildIndirect(t)
+	target.LoopID = len(base.Loops) + 7
+	_, err := Extract(base, []core.Target{target}, core.DefaultSyncParams(), ctr)
+	if !errors.Is(err, ErrUnsliceable) {
+		t.Fatalf("Extract with bad loop = %v, want ErrUnsliceable", err)
+	}
+}
+
+// TestExtractRefusesUnsafeGhost: SyncFreq 1 passes parameter validation
+// (it is a power of two) but emits a degenerate mask — the ghost would
+// read the shared counter every iteration, which the sync-segment
+// verifier rejects. Extract must surface that as ErrUnsafeGhost rather
+// than hand back the ghost.
+func TestExtractRefusesUnsafeGhost(t *testing.T) {
+	base, _, target, ctr, _, _ := buildIndirect(t)
+	params := core.DefaultSyncParams()
+	params.SyncFreq = 1
+	if err := params.Validate(); err != nil {
+		t.Fatalf("SyncFreq 1 should pass parameter validation: %v", err)
+	}
+	_, err := Extract(base, []core.Target{target}, params, ctr)
+	if !errors.Is(err, core.ErrUnsafeGhost) {
+		t.Fatalf("Extract with degenerate sync = %v, want ErrUnsafeGhost", err)
+	}
+}

@@ -26,11 +26,17 @@
 package slice
 
 import (
+	"errors"
 	"fmt"
 
 	"ghostthread/internal/core"
 	"ghostthread/internal/isa"
 )
+
+// ErrUnsliceable marks a program the extractor cannot turn into a ghost
+// thread: no targets, a malformed region, or not enough free registers.
+// Callers fall back to other techniques (errors.Is to detect).
+var ErrUnsliceable = errors.New("slice: program cannot be sliced")
 
 // Result is the output of an extraction.
 type Result struct {
@@ -49,11 +55,11 @@ type Result struct {
 // outermost enclosing loop becomes the region.
 func Extract(base *isa.Program, targets []core.Target, params core.SyncParams, ctr core.Counters) (*Result, error) {
 	if len(targets) == 0 {
-		return nil, fmt.Errorf("slice: no targets selected for %q", base.Name)
+		return nil, fmt.Errorf("%w: no targets selected for %q", ErrUnsliceable, base.Name)
 	}
 	targetLoop := targets[0].LoopID
 	if targetLoop < 0 || targetLoop >= len(base.Loops) {
-		return nil, fmt.Errorf("slice: target loop %d out of range in %q", targetLoop, base.Name)
+		return nil, fmt.Errorf("%w: target loop %d out of range in %q", ErrUnsliceable, targetLoop, base.Name)
 	}
 	region := targetLoop
 	for base.Loops[region].Parent >= 0 {
@@ -73,13 +79,18 @@ func Extract(base *isa.Program, targets []core.Target, params core.SyncParams, c
 		}
 	}
 	if syncAfter < 0 {
-		return nil, fmt.Errorf("slice: no target loads inside region of %q", base.Name)
+		return nil, fmt.Errorf("%w: no target loads inside region of %q", ErrUnsliceable, base.Name)
 	}
 
 	res := &Result{RegionLoop: region, TargetLoop: targetLoop}
 	ghost, err := buildGhost(base, head, end, targetPCs, syncAfter, params, ctr, res)
 	if err != nil {
 		return nil, err
+	}
+	// Static safety gate: a ghost that could write application state (or
+	// lost its sync segment) is rejected here, before it can ever run.
+	if _, err := core.Plan([]*isa.Program{ghost}, ctr); err != nil {
+		return nil, fmt.Errorf("slice: extracted ghost for %q rejected: %w", base.Name, err)
 	}
 	main, err := rewriteMain(base, head, end, targetLoop, ctr)
 	if err != nil {
@@ -98,7 +109,7 @@ func buildGhost(base *isa.Program, head, end int, targetPCs map[int]bool, syncAf
 
 	maxReg := MaxRegUsed(base)
 	if maxReg+12 > isa.NumRegs {
-		return nil, fmt.Errorf("slice: %q uses %d registers; no space for sync state", base.Name, maxReg)
+		return nil, fmt.Errorf("%w: %q uses %d registers; no space for sync state", ErrUnsliceable, base.Name, maxReg)
 	}
 
 	b := isa.NewBuilder(base.Name + "-compiler-ghost")
@@ -218,7 +229,7 @@ func computeSlice(base *isa.Program, head, end int, targetPCs map[int]bool) []bo
 func rewriteMain(base *isa.Program, head, end, targetLoop int, ctr core.Counters) (*isa.Program, error) {
 	maxReg := MaxRegUsed(base)
 	if maxReg+4 > isa.NumRegs {
-		return nil, fmt.Errorf("slice: %q uses %d registers; no space for counter state", base.Name, maxReg)
+		return nil, fmt.Errorf("%w: %q uses %d registers; no space for counter state", ErrUnsliceable, base.Name, maxReg)
 	}
 	ctrAddr := isa.Reg(maxReg)
 	oneR := isa.Reg(maxReg + 1)
@@ -230,7 +241,7 @@ func rewriteMain(base *isa.Program, head, end, targetLoop int, ctr core.Counters
 
 	backedge := p.Loops[targetLoop].Backedge
 	if backedge < 0 {
-		return nil, fmt.Errorf("slice: target loop %d of %q has no backedge", targetLoop, base.Name)
+		return nil, fmt.Errorf("%w: target loop %d of %q has no backedge", ErrUnsliceable, targetLoop, base.Name)
 	}
 
 	// Apply insertions from the highest position down so indices stay

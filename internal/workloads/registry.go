@@ -35,3 +35,20 @@ func Names() []string {
 	sort.Strings(names)
 	return names
 }
+
+// Entry is one registered workload.
+type Entry struct {
+	Name  string
+	Build Builder
+}
+
+// Entries returns every registered workload sorted by name, so sweeping
+// tools (gtlint -all, the lint sweep test) enumerate the registry
+// programmatically instead of keeping their own lists.
+func Entries() []Entry {
+	out := make([]Entry, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, Entry{Name: n, Build: registry[n]})
+	}
+	return out
+}

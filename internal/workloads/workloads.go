@@ -105,6 +105,31 @@ func (in *Instance) VariantByName(name string) *Variant {
 	return nil
 }
 
+// NamedVariant pairs a variant with its registry name.
+type NamedVariant struct {
+	Name    string
+	Variant *Variant
+}
+
+// Variants returns the instance's available variants in evaluation
+// order. The list is self-describing — tools that sweep every variant
+// (gtlint, the analysis sweep test) iterate this instead of hard-coding
+// names, so a new variant is linted the day it is added.
+func (in *Instance) Variants() []NamedVariant {
+	var out []NamedVariant
+	for _, name := range VariantNames {
+		if v := in.VariantByName(name); v != nil {
+			out = append(out, NamedVariant{Name: name, Variant: v})
+		}
+	}
+	return out
+}
+
+// Relaxed reports whether the Parallel variant is validated by relaxed
+// algorithm invariants rather than bit-exact comparison — i.e. its races
+// are tolerated by design (chaotic-relaxation graph kernels).
+func (in *Instance) Relaxed() bool { return in.CheckRelaxed != nil }
+
 // Builder is a workload constructor at a given option set.
 type Builder func(Options) *Instance
 
