@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint ci
+.PHONY: build vet test race lint bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,12 @@ race:
 lint:
 	$(GO) run ./cmd/gtlint -all
 
-ci: vet build race lint
+# Perf smoke: figure 3 plus a 4-workload figure-6 slice with throughput
+# metrics, so simulator-speed regressions surface in tier-1. The JSON
+# trajectory (wall_seconds, sim_cycles_per_sec) lands in BENCH_fig6.json.
+bench-smoke:
+	$(GO) run ./cmd/ghostbench -experiment fig3
+	$(GO) run ./cmd/ghostbench -experiment fig6 -workloads camel,kangaroo,hj2,bfs.kron -json -quiet > BENCH_fig6.json
+	@grep -E '"(wall_seconds|sim_cycles_per_sec)"' BENCH_fig6.json
+
+ci: vet build race lint bench-smoke

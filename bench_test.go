@@ -43,13 +43,14 @@ func BenchmarkFigure3(b *testing.B) {
 }
 
 // benchMatrix runs the full 34-workload evaluation on the given machine
-// and reports the geomeans (paper fig 6: 1.06/1.22/1.33/1.11 on idle;
-// fig 8: 1.07/1.26/1.40/1.06 on busy).
+// (parallel across GOMAXPROCS workers) and reports the geomeans (paper
+// fig 6: 1.06/1.22/1.33/1.11 on idle; fig 8: 1.07/1.26/1.40/1.06 on
+// busy) plus the harness's simulated-cycles-per-second throughput.
 func benchMatrix(b *testing.B, cfg sim.Config, machine string) *harness.Matrix {
 	var m *harness.Matrix
 	var err error
 	for i := 0; i < b.N; i++ {
-		m, err = harness.RunMatrix(workloads.AllWorkloadNames(), machine, cfg, nil)
+		m, err = harness.RunMatrixWorkers(workloads.AllWorkloadNames(), machine, cfg, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,6 +60,7 @@ func benchMatrix(b *testing.B, cfg sim.Config, machine string) *harness.Matrix {
 	b.ReportMetric(m.GeomeanSpeedup(harness.TechGhost), "ghost-x")
 	b.ReportMetric(m.GeomeanSpeedup(harness.TechCompiler), "compiler-x")
 	b.ReportMetric(float64(m.GhostSelected()), "selected")
+	b.ReportMetric(m.CyclesPerSec, "simcycles/s")
 	return m
 }
 

@@ -9,8 +9,9 @@
 //	ghostbench -experiment fig10a   # inter-thread distance, long trace
 //	ghostbench -experiment fig10b   # inter-thread distance, short window
 //
-// Use -csv for machine-readable output and -workloads to restrict the
-// evaluation set.
+// Use -csv or -json for machine-readable output, -workloads to restrict
+// the evaluation set, and -j N to evaluate N workloads in parallel
+// (default: one worker per CPU).
 package main
 
 import (
@@ -33,8 +34,14 @@ func main() {
 		gnuplot    = flag.Bool("gnuplot", false, "emit a gnuplot script (fig6/fig8)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		workSet    = flag.String("workloads", "", "comma-separated workload subset (default: the full 34)")
+		jobs       = flag.Int("j", 0, "parallel workload evaluations (0 = GOMAXPROCS)")
+		cycleStep  = flag.Bool("cyclestep", false, "force per-cycle stepping (disable event skipping; for perf comparisons)")
 	)
 	flag.Parse()
+
+	idleCfg, busyCfg := sim.DefaultConfig(), sim.BusyConfig()
+	idleCfg.CycleStep = *cycleStep
+	busyCfg.CycleStep = *cycleStep
 
 	names := workloads.AllWorkloadNames()
 	if *workSet != "" {
@@ -48,7 +55,7 @@ func main() {
 
 	switch *experiment {
 	case "fig3":
-		data, err := harness.Figure3(sim.DefaultConfig())
+		data, err := harness.Figure3(idleCfg)
 		check(err)
 		fmt.Println("Figure 3: speedup over baseline for the three Camel forms")
 		fmt.Print(harness.RenderFigure3(data))
@@ -58,7 +65,7 @@ func main() {
 		fmt.Print(harness.Table1())
 
 	case "fig6", "fig7":
-		m, err := harness.RunMatrix(names, "idle", sim.DefaultConfig(), progress)
+		m, err := harness.RunMatrixWorkers(names, "idle", idleCfg, *jobs, progress)
 		check(err)
 		if *experiment == "fig6" {
 			switch {
@@ -81,7 +88,7 @@ func main() {
 		}
 
 	case "fig8":
-		m, err := harness.RunMatrix(names, "busy", sim.BusyConfig(), progress)
+		m, err := harness.RunMatrixWorkers(names, "busy", busyCfg, *jobs, progress)
 		check(err)
 		switch {
 		case *jsonOut:

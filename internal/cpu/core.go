@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"ghostthread/internal/cache"
 	"ghostthread/internal/isa"
@@ -110,6 +111,15 @@ type Core struct {
 
 	mshrInUse int
 
+	// Event-skip bookkeeping (see NextEvent): issueStarved records that
+	// the last issue() left ready work unissued because the shared issue
+	// ports ran out; dispatchedReady records that the last dispatch()
+	// inserted entries that are already ready but were dispatched after
+	// this cycle's issue pass ran. Either means the very next cycle can
+	// make progress without an event.
+	issueStarved    bool
+	dispatchedReady bool
+
 	// Statistics.
 	LoadLevel     [4]int64 // demand loads + atomics satisfied per level
 	PrefetchLevel [4]int64 // prefetches satisfied per level
@@ -145,6 +155,8 @@ func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
 	c.now = 0
 	c.events.ev = c.events.ev[:0]
 	c.mshrInUse = 0
+	c.issueStarved = false
+	c.dispatchedReady = false
 	c.err = nil
 }
 
@@ -209,13 +221,146 @@ func (c *Core) Step() bool {
 }
 
 // Run steps until completion or maxCycles, returning the cycle count.
+// Between steps it fast-forwards over spans NextEvent proves inert, so a
+// DRAM-bound run costs one step per event rather than one per cycle; the
+// returned cycle count and every statistic are identical to stepping
+// cycle by cycle (SkipTo accrues the skipped cycles' stall accounting).
 func (c *Core) Run(maxCycles int64) (int64, error) {
 	for c.Step() {
 		if c.now >= maxCycles {
 			return c.now, fmt.Errorf("cpu: %q exceeded %d cycles", c.threads[0].prog.Name, maxCycles)
 		}
+		if next := c.NextEvent(); next > c.now+1 {
+			c.SkipTo(min(next-1, maxCycles-1))
+		}
 	}
 	return c.now, c.err
+}
+
+// never is NextEvent's "no future event" sentinel.
+const never = math.MaxInt64
+
+// NextEvent returns the earliest cycle, strictly after Now(), at which
+// any core state can change — or math.MaxInt64 when the core is done (or
+// deadlocked). Calling Step for every cycle in (Now(), NextEvent()) would
+// only accrue stall statistics; SkipTo accrues them in O(1), which is
+// what lets the run loop jump straight to the next event.
+//
+// It must be called between Steps (after Step has returned), when these
+// invariants hold and every possible state change is one of:
+//
+//   - a timing-wheel event firing (instruction completion, MSHR release);
+//   - the serialize instruction at a ROB head reaching its drain
+//     deadline (tracked in its completeAt, not on the wheel);
+//   - leftover ready work: the last issue pass ran out of ports
+//     (issueStarved), or dispatch inserted already-ready entries after
+//     the issue pass (dispatchedReady) — both can issue next cycle;
+//   - a committable ROB head (commit-width limits can leave one);
+//   - dispatch proceeding once its fetch barriers (thread start, branch
+//     redirect, spawn/join costs) expire.
+//
+// Ready entries held back by a structural hazard (an L1 miss with all
+// MSHRs taken) need no wake-up of their own: the hazard can only clear
+// through an MSHR-release event already on the wheel, and any same-cycle
+// cache install that could turn their miss into a hit comes from an
+// instruction that issued this cycle — which pushed its own completion
+// event at no later than Now()+1. Dispatch blocked on a full ROB or
+// load/store queue likewise only unblocks via commit or completion,
+// both covered above.
+func (c *Core) NextEvent() int64 {
+	if c.Done() {
+		return never
+	}
+	next := int64(never)
+	if at, ok := c.events.peekAt(); ok && at < next {
+		next = at
+	}
+	if c.issueStarved || c.dispatchedReady {
+		next = c.now + 1
+	}
+	for i := range c.threads {
+		t := &c.threads[i]
+		if !t.active || t.finished {
+			continue
+		}
+		// Commit progress not driven by the timing wheel.
+		if t.count > 0 {
+			e := &t.rob[t.head]
+			switch {
+			case e.state == stDone:
+				next = min(next, c.now+1) // commit-width leftover
+			case e.state == stSerialize:
+				if e.completeAt == 0 {
+					next = min(next, c.now+1) // drain deadline set at the head
+				} else {
+					next = min(next, e.completeAt)
+				}
+			}
+		}
+		// Dispatch progress. Threads blocked mid-pipeline (serialize
+		// drain, unresolved hard branch, full ROB/LQ/SQ, join-wait) only
+		// unblock via events handled above; everything else can dispatch
+		// as soon as the fetch barriers expire.
+		if t.halted || t.serializeBlocked || t.waitBranch >= 0 {
+			continue
+		}
+		if t.count >= c.robCap() {
+			continue
+		}
+		if t.pc >= 0 && t.pc < len(t.prog.Code) {
+			in := &t.prog.Code[t.pc]
+			switch in.Op {
+			case isa.OpLoad, isa.OpAtomicAdd, isa.OpPrefetch:
+				if t.lq >= c.lqCap() {
+					continue
+				}
+			case isa.OpStore:
+				if t.sq >= c.sqCap() {
+					continue
+				}
+			case isa.OpJoin:
+				if in.Imm == JoinWaitImm && c.smtActive() {
+					continue
+				}
+			}
+		}
+		next = min(next, max(c.now+1, max(t.startAt, t.fetchBlockedUntil)))
+	}
+	return next
+}
+
+// SkipTo advances the clock to target without stepping, accruing exactly
+// the statistics the skipped cycles would have recorded: a thread with a
+// blocked ROB head charges its stall-attribution counter every cycle, and
+// a thread with an empty ROB charges frontend stalls from its start cycle
+// on. The caller must ensure target < NextEvent() (no state other than
+// these counters may change over the span); SkipTo(target <= Now()) is a
+// no-op.
+func (c *Core) SkipTo(target int64) {
+	if target <= c.now {
+		return
+	}
+	span := target - c.now
+	for i := range c.threads {
+		t := &c.threads[i]
+		if !t.active || t.finished {
+			continue
+		}
+		if t.count == 0 {
+			// An empty ROB with halted set would already be finished, so
+			// this thread is fetch-blocked or not yet started: it counts
+			// frontend-stall cycles once its start cycle is reached.
+			if from := max(c.now+1, t.startAt); from <= target {
+				t.frontendStall += target - from + 1
+			}
+			continue
+		}
+		// The head cannot commit anywhere in the span (otherwise
+		// NextEvent would have stopped the skip sooner), so every skipped
+		// cycle charges the instruction blocking it.
+		t.stallPC[t.rob[t.head].pc] += span
+	}
+	c.now = target
 }
 
 func (c *Core) processEvents() {
@@ -321,10 +466,15 @@ func (c *Core) commit(t *thread) {
 // alternating thread priority each cycle.
 func (c *Core) issue() {
 	slots := c.cfg.IssueWidth
+	c.issueStarved = false
 	first := int(c.now & 1)
-	for k := 0; k < 2 && slots > 0; k++ {
+	for k := 0; k < 2; k++ {
 		t := &c.threads[(first+k)&1]
 		if !t.active || t.finished || len(t.readyQ) == 0 {
+			continue
+		}
+		if slots == 0 {
+			c.issueStarved = true
 			continue
 		}
 		q := t.readyQ
@@ -333,11 +483,12 @@ func (c *Core) issue() {
 			idx := q[qi]
 			if slots == 0 {
 				kept = append(kept, idx)
+				c.issueStarved = true
 				continue
 			}
 			e := &t.rob[idx]
 			if !c.tryIssue(t, idx, e) {
-				kept = append(kept, idx) // structural hazard; retry next cycle
+				kept = append(kept, idx) // structural hazard; event-driven retry
 				continue
 			}
 			slots--
@@ -399,6 +550,7 @@ func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
 // the ROB, sharing FetchWidth between the threads.
 func (c *Core) dispatch() {
 	slots := c.cfg.FetchWidth
+	c.dispatchedReady = false
 	first := int(c.now & 1)
 	for k := 0; k < 2 && slots > 0; k++ {
 		t := &c.threads[(first+k)&1]
@@ -633,6 +785,7 @@ func (c *Core) dispatchOne(t *thread) bool {
 		if e.notReady == 0 {
 			e.state = stReady
 			t.readyQ = append(t.readyQ, idx)
+			c.dispatchedReady = true // issue already ran this cycle
 		} else {
 			e.state = stWaiting
 		}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/sim"
+)
+
+var parallelNames = []string{"camel", "nas-is", "hj2"}
+
+// TestRunMatrixWorkersMatchesSerial proves the parallel harness is
+// bit-identical to the serial path: same rows, same order, regardless of
+// worker count.
+func TestRunMatrixWorkersMatchesSerial(t *testing.T) {
+	serial, err := RunMatrixWorkers(parallelNames, "idle", sim.DefaultConfig(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMatrixWorkers(parallelNames, "idle", sim.DefaultConfig(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		if !reflect.DeepEqual(serial.Rows[i], par.Rows[i]) {
+			t.Errorf("row %d differs between 1 and 4 workers\nserial: %+v\n   par: %+v",
+				i, serial.Rows[i], par.Rows[i])
+		}
+	}
+	if par.Workers != 3 {
+		t.Errorf("Workers = %d, want 3 (clamped to len(names))", par.Workers)
+	}
+	if serial.SimCycles == 0 || serial.SimCycles != par.SimCycles {
+		t.Errorf("SimCycles differ: serial %d, parallel %d", serial.SimCycles, par.SimCycles)
+	}
+}
+
+// TestProfileMemoization checks that repeated matrix runs under the same
+// machine configuration profile each workload exactly once process-wide.
+func TestProfileMemoization(t *testing.T) {
+	// A config unique to this test, so earlier tests' cache entries
+	// cannot mask missing profiling work.
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles--
+	names := []string{"camel", "hj2"}
+
+	before := profileRuns.Load()
+	if _, err := RunMatrixWorkers(names, "idle", cfg, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := profileRuns.Load() - before
+	if first != int64(len(names)) {
+		t.Errorf("first matrix ran %d profiles, want %d", first, len(names))
+	}
+	if _, err := RunMatrixWorkers(names, "idle", cfg, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if again := profileRuns.Load() - before - first; again != 0 {
+		t.Errorf("second matrix re-ran %d profiles, want 0 (memoized)", again)
+	}
+}
+
+// TestProfileMemoizationBypassedWithSampler: a Sampler makes profiling
+// runs observable side-effect machines, so they must never be cached.
+func TestProfileMemoizationBypassedWithSampler(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.SampleEvery = 1 << 20
+	cfg.Sampler = func(now int64) {}
+
+	before := profileRuns.Load()
+	for i := 0; i < 2; i++ {
+		if _, err := Eval("camel", cfg, core.DefaultHeuristicParams()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := profileRuns.Load() - before; got != 2 {
+		t.Errorf("sampler runs profiled %d times, want 2 (no caching)", got)
+	}
+}
+
+// TestMatrixJSONThroughputFields checks the -json plumbing: throughput
+// metrics and per-row simulated cycles must appear in the output.
+func TestMatrixJSONThroughputFields(t *testing.T) {
+	m, err := RunMatrixWorkers([]string{"camel"}, "idle", sim.DefaultConfig(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"workers"`, `"wall_seconds"`, `"simulated_cycles"`, `"sim_cycles_per_sec"`, `"sim_cycles"`,
+	} {
+		if !strings.Contains(js, field) {
+			t.Errorf("JSON output missing %s:\n%s", field, js)
+		}
+	}
+	if m.CyclesPerSec <= 0 || m.WallSeconds <= 0 {
+		t.Errorf("throughput not recorded: %f cycles/s over %fs", m.CyclesPerSec, m.WallSeconds)
+	}
+}

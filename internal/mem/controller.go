@@ -79,6 +79,18 @@ func (c *Controller) Schedule(now int64) int64 {
 	return start + c.cfg.AccessLatency
 }
 
+// NextFree returns the earliest cycle at which the channel can start
+// another transfer. It is a read-only probe for diagnostics and the
+// event-skip machinery: the controller itself never needs a wake-up,
+// because it only changes state inside Schedule — and the pressure-agent
+// token catch-up MUST happen only there. Splitting the catch-up across
+// extra observation points would change results: the idle clamp in
+// Schedule (`min(nextFree+occupied, now)`) discards pressure lines that
+// found the channel idle, and how many are discarded depends on exactly
+// when catch-up runs. Callers must therefore never add intermediate
+// catch-up calls on the skip path.
+func (c *Controller) NextFree() int64 { return c.nextFree }
+
 // Reset clears timing state but keeps the configuration.
 func (c *Controller) Reset() {
 	c.nextFree = 0

@@ -13,6 +13,7 @@ package profile
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -107,6 +108,17 @@ func build(prog *isa.Program, cycles int64, stall, exec []int64) *Report {
 		}
 	}
 	return r
+}
+
+// Equal reports whether two reports carry bit-identical profiling data
+// (everything except the program pointer). The event-skip equivalence
+// tests use it to prove CPI attribution is unchanged by fast-forwarding.
+func (r *Report) Equal(o *Report) bool {
+	return r.TotalCycles == o.TotalCycles &&
+		r.TotalStall == o.TotalStall &&
+		reflect.DeepEqual(r.Instrs, o.Instrs) &&
+		reflect.DeepEqual(r.Loops, o.Loops) &&
+		reflect.DeepEqual(r.FuncStall, o.FuncStall)
 }
 
 // CoverageTask returns the fraction of total run time attributed to the

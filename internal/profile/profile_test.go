@@ -123,3 +123,33 @@ func TestLoopStatsSeparateFunctions(t *testing.T) {
 	}
 	_ = hotPC
 }
+
+// TestProfileEquivalenceUnderSkip proves CPI attribution is untouched by
+// the event-skip fast path: profiling the same program with the
+// per-cycle reference loop and with skipping yields Equal reports.
+func TestProfileEquivalenceUnderSkip(t *testing.T) {
+	p1, m1, _, _ := buildHotLoop(t)
+	refCfg := sim.DefaultConfig()
+	refCfg.CycleStep = true
+	ref, err := Run(refCfg, m1, p1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2, m2, _, _ := buildHotLoop(t)
+	opt, err := Run(sim.DefaultConfig(), m2, p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !ref.Equal(opt) {
+		t.Errorf("profile diverged under event skip:\n ref: cycles=%d stall=%d\nskip: cycles=%d stall=%d",
+			ref.TotalCycles, ref.TotalStall, opt.TotalCycles, opt.TotalStall)
+	}
+	// Equal must also detect real differences, not vacuously pass.
+	mut := *opt
+	mut.TotalStall++
+	if ref.Equal(&mut) {
+		t.Error("Equal failed to detect a TotalStall difference")
+	}
+}

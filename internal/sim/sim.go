@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"ghostthread/internal/cache"
 	"ghostthread/internal/cpu"
@@ -29,6 +30,12 @@ type Config struct {
 	// figure-10 distance traces use it).
 	SampleEvery int64
 	Sampler     func(now int64)
+
+	// CycleStep forces the per-cycle reference loop, disabling the
+	// event-skip fast-forward. Results are bit-identical either way (the
+	// equivalence tests prove it); this exists so they can keep proving
+	// it, and as an escape hatch when bisecting simulator changes.
+	CycleStep bool
 }
 
 // DefaultConfig returns the single-core idle-server machine.
@@ -85,6 +92,7 @@ func New(cfg Config, m *mem.Memory) *System {
 	for i := range s.cores {
 		h := cache.NewHierarchy(cfg.Hier, s.llc, s.mc)
 		s.cores[i] = cpu.New(cfg.CPU, h, m)
+		s.finishAt[i] = -1 // -1 = not finished; 0 is a valid finish cycle
 	}
 	return s
 }
@@ -101,7 +109,7 @@ func (s *System) Mem() *mem.Memory { return s.mem }
 // Load installs a main program (and its helpers) on core i.
 func (s *System) Load(i int, main *isa.Program, helpers []*isa.Program) {
 	s.cores[i].Load(main, helpers)
-	s.finishAt[i] = 0
+	s.finishAt[i] = -1
 }
 
 // Result summarises a run.
@@ -128,13 +136,16 @@ type Result struct {
 }
 
 // Run simulates until every core is done, returning aggregate statistics.
+// Unless cfg.CycleStep is set, it fast-forwards over spans in which no
+// core can change state (see skipAhead); the Result is bit-identical
+// either way.
 func (s *System) Run() (Result, error) {
 	sampleAt := s.cfg.SampleEvery
 	for {
 		allDone := true
 		for i, c := range s.cores {
 			if c.Done() {
-				if s.finishAt[i] == 0 {
+				if s.finishAt[i] < 0 {
 					s.finishAt[i] = c.Now()
 				}
 				continue
@@ -152,6 +163,9 @@ func (s *System) Run() (Result, error) {
 		if s.now >= s.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded %d cycles", s.cfg.MaxCycles)
 		}
+		if !s.cfg.CycleStep {
+			s.skipAhead(sampleAt)
+		}
 	}
 
 	var res Result
@@ -161,7 +175,7 @@ func (s *System) Run() (Result, error) {
 			return Result{}, err
 		}
 		fin := s.finishAt[i]
-		if fin == 0 {
+		if fin < 0 {
 			fin = c.Now()
 		}
 		res.CoreCycles[i] = fin
@@ -191,6 +205,50 @@ func (s *System) Run() (Result, error) {
 	res.LLCMisses = s.llc.Misses
 	res.DRAMTransfers = s.mc.Transfers
 	return res, nil
+}
+
+// skipAhead advances the whole machine to just before the earliest cycle
+// at which any unfinished core can change state. Because every core is
+// quiescent over the span, no shared-LLC or memory-controller interaction
+// can occur either, so skipping is safe machine-wide; each core accrues
+// the skipped cycles' stall statistics via SkipTo. The target is capped
+// below the next SampleEvery boundary (so the sampler fires on exactly
+// the per-cycle schedule) and below MaxCycles (so the runaway guard trips
+// at the same cycle as the reference loop).
+//
+// The memory controller needs no entry in the next-event computation: it
+// only acts when a core sends it an access, and its pressure-agent token
+// accounting is deliberately lazy — it catches up at each demand access
+// (see mem.Controller.Schedule), which skipping leaves untouched because
+// it introduces no extra catch-up points.
+func (s *System) skipAhead(sampleAt int64) {
+	next := int64(math.MaxInt64)
+	for _, c := range s.cores {
+		if c.Done() {
+			continue
+		}
+		if ne := c.NextEvent(); ne < next {
+			next = ne
+		}
+	}
+	if next == math.MaxInt64 {
+		return
+	}
+	target := next - 1
+	if s.cfg.Sampler != nil && sampleAt > 0 {
+		boundary := s.now - s.now%sampleAt + sampleAt
+		target = min(target, boundary-1)
+	}
+	target = min(target, s.cfg.MaxCycles-1)
+	if target <= s.now {
+		return
+	}
+	for _, c := range s.cores {
+		if !c.Done() {
+			c.SkipTo(target)
+		}
+	}
+	s.now = target
 }
 
 // RunProgram is the single-core convenience path: build a machine with

@@ -186,6 +186,28 @@ func TestCoreCyclesRecordFinishTimes(t *testing.T) {
 	}
 }
 
+func TestFinishAtSentinelIsNegative(t *testing.T) {
+	// finishAt must use -1 for "not finished": 0 is a valid finish cycle,
+	// and the old 0-sentinel made the two indistinguishable.
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	s := New(cfg, mem.New(1024))
+	for i, f := range s.finishAt {
+		if f != -1 {
+			t.Errorf("after New: finishAt[%d] = %d, want -1", i, f)
+		}
+	}
+	s.Load(0, alu(10), nil)
+	s.Load(1, alu(10), nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Load(0, alu(10), nil)
+	if s.finishAt[0] != -1 {
+		t.Errorf("after Load: finishAt[0] = %d, want -1", s.finishAt[0])
+	}
+}
+
 func TestBusyConfigRaisesLatency(t *testing.T) {
 	idle := DefaultConfig()
 	busy := BusyConfig()
