@@ -1,6 +1,7 @@
 GO ?= go
+TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint bench-smoke ci
+.PHONY: build vet test race lint bench-smoke trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -27,4 +28,12 @@ bench-smoke:
 	$(GO) run ./cmd/ghostbench -experiment fig6 -workloads camel,kangaroo,hj2,bfs.kron -json -quiet > BENCH_fig6.json
 	@grep -E '"(wall_seconds|sim_cycles_per_sec)"' BENCH_fig6.json
 
-ci: vet build race lint bench-smoke
+# Observability smoke: trace camel/ghost through the event recorder,
+# export Chrome trace-event JSON, and re-validate it against the schema
+# (required keys, monotonic ts per track). gttrace itself also asserts
+# the serialize-throttle spans sum to the SerializeStall counter.
+trace-smoke:
+	$(GO) run ./cmd/gttrace -workload camel -variant ghost -chrome $(TRACE_OUT)
+	$(GO) run ./cmd/gttrace -validate $(TRACE_OUT)
+
+ci: vet build race lint bench-smoke trace-smoke

@@ -68,8 +68,13 @@ func main() {
 		res.LoadLevel[0], res.LoadLevel[1], res.LoadLevel[2], res.LoadLevel[3])
 	fmt.Printf("prefetches  %d (L1 %d | L2 %d | LLC %d | DRAM %d)\n", res.Prefetches,
 		res.PrefetchLevel[0], res.PrefetchLevel[1], res.PrefetchLevel[2], res.PrefetchLevel[3])
-	fmt.Printf("serializes  %d   spawns %d   dram-lines %d\n",
-		res.Serializes, res.Spawns, res.DRAMTransfers)
+	if q := res.Prefetch; q.Issued+q.Redundant > 0 {
+		fmt.Printf("pf quality  accuracy %.2f | coverage %.2f | timeliness %.2f (timely %d, late %d, evicted %d, unused %d, redundant %d)\n",
+			res.PrefetchAccuracy(), res.PrefetchCoverage(), res.PrefetchTimeliness(),
+			q.Timely, q.Late, q.Evicted, q.Unused(), q.Redundant)
+	}
+	fmt.Printf("serializes  %d (stall %d cycles)   spawns %d   dram-lines %d\n",
+		res.Serializes, res.SerializeStall, res.Spawns, res.DRAMTransfers)
 	fmt.Printf("check       %s\n", status)
 	if status != "ok" {
 		os.Exit(1)

@@ -1,10 +1,15 @@
-// Command gttrace samples pipeline occupancy while a workload runs and
-// renders a timeline: per-context ROB occupancy, shared MSHR usage, and
-// serialize-throttle state — the dynamics behind the paper's figure 2
-// (full-window stalls) and figure 10 (ghost throttling), live.
+// Command gttrace observes a workload run: it samples pipeline occupancy
+// into a text/CSV timeline (the dynamics behind the paper's figure 2 and
+// figure 10), exports a structured event trace as Chrome trace-event
+// JSON for Perfetto, dumps the metrics registry (ghost lead, serialize
+// stalls, MSHR occupancy histograms), and renders a folded-stacks
+// per-PC cycle attribution for flamegraph tools.
 //
 //	gttrace -workload camel -variant ghost
 //	gttrace -workload bfs.urand -variant baseline -every 2000 -csv
+//	gttrace -workload camel -variant ghost -chrome out.json   # open in ui.perfetto.dev
+//	gttrace -workload camel -variant ghost -metrics met.json -folded stacks.txt
+//	gttrace -validate out.json
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 
 	"ghostthread/internal/cpu"
+	"ghostthread/internal/obs"
 	"ghostthread/internal/sim"
 	"ghostthread/internal/workloads"
 )
@@ -21,34 +27,107 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "camel", "workload name")
-		variant  = flag.String("variant", "ghost", "variant to trace")
-		every    = flag.Int64("every", 5000, "sampling period in cycles")
+		variant  = flag.String("variant", "ghost", "variant to trace (baseline | swpf | smt-openmp | ghost)")
+		scale    = flag.String("scale", "profile", "input scale: eval | profile")
+		every    = flag.Int64("every", 5000, "sampling period in cycles (must be > 0)")
 		rows     = flag.Int("rows", 60, "timeline rows to print")
-		csv      = flag.Bool("csv", false, "emit CSV instead of the timeline")
+		csv      = flag.Bool("csv", false, "emit sample CSV instead of the timeline")
+		chrome   = flag.String("chrome", "", "write Chrome trace-event JSON to this file")
+		metrics  = flag.String("metrics", "", "write the metrics-registry JSON to this file")
+		folded   = flag.String("folded", "", "write folded stacks (main-thread stall cycles per pc) to this file")
+		bufSize  = flag.Int("buf", obs.DefaultCapacity, "trace ring-buffer capacity in events")
+		validate = flag.String("validate", "", "validate an existing Chrome trace JSON file and exit")
 	)
 	flag.Parse()
 
+	// Standalone validation mode: no workload is built or run.
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		fatalIf(err)
+		fatalIf(obs.ValidateChrome(data))
+		fmt.Printf("%s: valid Chrome trace JSON\n", *validate)
+		return
+	}
+
+	// Flag validation up front, before any workload construction: bad
+	// values exit with a usage message rather than a panic (division by a
+	// zero period) or a silently empty timeline.
+	if *every <= 0 {
+		usageError(fmt.Sprintf("-every must be positive, got %d", *every))
+	}
+	if !knownVariant(*variant) {
+		usageError(fmt.Sprintf("unknown -variant %q (want one of %s)",
+			*variant, strings.Join(workloads.VariantNames, " | ")))
+	}
+	if *scale != "eval" && *scale != "profile" {
+		usageError(fmt.Sprintf("unknown -scale %q (want eval | profile)", *scale))
+	}
+	if *bufSize <= 0 {
+		usageError(fmt.Sprintf("-buf must be positive, got %d", *bufSize))
+	}
+
 	build, err := workloads.Lookup(*workload)
 	fatalIf(err)
-	inst := build(workloads.ProfileOptions())
+	opts := workloads.ProfileOptions()
+	if *scale == "eval" {
+		opts = workloads.DefaultOptions()
+	}
+	if *metrics != "" {
+		// Ghost-lead sampling needs the ghost's published counter word.
+		opts.Sync.Trace = true
+	}
+	inst := build(opts)
 	v := inst.VariantByName(*variant)
 	if v == nil {
 		fatalIf(fmt.Errorf("workload %s has no %q variant", *workload, *variant))
 	}
 
-	// Drive a single core directly so sampling can read its state.
-	s := sim.New(sim.DefaultConfig(), inst.Mem)
-	s.Load(0, v.Main, v.Helpers)
-	core0 := s.Core(0)
+	// Drive the run through sim.Run so tracing rides the same event-skip
+	// fast path every other tool uses; the sampler fires on the exact
+	// per-cycle schedule regardless of skipping.
+	cfg := sim.DefaultConfig()
+	cfg.SampleEvery = *every
 	var samples []cpu.PipelineSample
-	for step := int64(1); core0.Step(); step++ {
-		if step%*every == 0 {
-			samples = append(samples, core0.Sample())
-		}
+	var core0 *cpu.Core
+	cfg.Sampler = func(now int64) { samples = append(samples, core0.Sample()) }
+	s := sim.New(cfg, inst.Mem)
+	s.Load(0, v.Main, v.Helpers)
+	core0 = s.Core(0)
+
+	var rec *obs.Recorder
+	if *chrome != "" {
+		rec = obs.NewRecorder(*bufSize)
+		s.SetTrace(0, rec)
 	}
-	fatalIf(core0.Err())
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		s.SetMetrics(0, obs.DefaultCoreMetrics(reg, cfg.CPU.MSHRs, inst.Counters.GhostAddr))
+	}
+	res, err := s.Run()
+	fatalIf(err)
 	if err := inst.CheckFor(*variant)(inst.Mem); err != nil {
 		fatalIf(fmt.Errorf("result check: %w", err))
+	}
+
+	if *chrome != "" {
+		writeChrome(*chrome, rec, core0, *workload, *variant)
+	}
+	if *metrics != "" {
+		reg.SetCounter("cycles", res.Cycles)
+		reg.SetCounter("serialize_stall_total", res.SerializeStall)
+		reg.SetCounter("serializes", res.Serializes)
+		reg.SetCounter("prefetches", res.Prefetches)
+		data, err := reg.JSON()
+		fatalIf(err)
+		fatalIf(os.WriteFile(*metrics, data, 0o644))
+		fmt.Printf("metrics registry written to %s\n", *metrics)
+	}
+	if *folded != "" {
+		stall, _ := core0.PCProfile(0)
+		out := obs.FoldedStacks(v.Main, stall)
+		fatalIf(os.WriteFile(*folded, []byte(out), 0o644))
+		fmt.Printf("folded stacks (main-thread stall cycles) written to %s\n", *folded)
 	}
 
 	if *csv {
@@ -59,6 +138,9 @@ func main() {
 				p.SerializeBlocked[0], p.SerializeBlocked[1])
 		}
 		return
+	}
+	if *chrome != "" || *metrics != "" || *folded != "" {
+		return // export modes skip the ASCII timeline
 	}
 
 	fmt.Printf("pipeline timeline of %s/%s (sampled every %d cycles; %d samples)\n",
@@ -83,6 +165,50 @@ func main() {
 		}
 		fmt.Printf("%14d  %-46s %4d   %s\n", p.Cycle, bar, p.MSHRs, ser)
 	}
+}
+
+// writeChrome exports the recorded events and self-checks the result:
+// schema validation plus the span-sum invariant (serialize-throttle span
+// durations sum to the SerializeStall counter when nothing was dropped).
+func writeChrome(path string, rec *obs.Recorder, core0 *cpu.Core, workload, variant string) {
+	events := rec.Events()
+	data, err := obs.ChromeTrace(events, workload+"/"+variant)
+	fatalIf(err)
+	fatalIf(obs.ValidateChrome(data))
+	fatalIf(os.WriteFile(path, data, 0o644))
+
+	var spanSum int64
+	for _, e := range events {
+		if e.Kind == obs.KindSerialize {
+			spanSum += e.Dur
+		}
+	}
+	stall := core0.SerializeStall(0) + core0.SerializeStall(1)
+	fmt.Printf("chrome trace written to %s (%d events", path, len(events))
+	if d := rec.Dropped(); d > 0 {
+		fmt.Printf(", %d dropped — raise -buf", d)
+	}
+	fmt.Printf(")\nserialize-throttle spans sum to %d cycles (SerializeStall counter: %d)\n",
+		spanSum, stall)
+	if rec.Dropped() == 0 && spanSum != stall {
+		fatalIf(fmt.Errorf("span sum %d != SerializeStall %d", spanSum, stall))
+	}
+}
+
+func knownVariant(name string) bool {
+	for _, v := range workloads.VariantNames {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "gttrace:", msg)
+	fmt.Fprintln(os.Stderr, "usage:")
+	flag.PrintDefaults()
+	os.Exit(2)
 }
 
 func fatalIf(err error) {

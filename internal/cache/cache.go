@@ -46,10 +46,17 @@ type Cache struct {
 	lastUse []int64 // LRU timestamp per entry
 	hwPf    []bool  // line was brought in by the hardware prefetcher and
 	// not yet demand-touched (tagged-prefetch trigger bit)
+	swPf []bool // line was brought in by a software prefetch and not yet
+	// demand-touched (prefetch-quality classification bit)
 
 	Hits         int64 // hits on resident, filled lines
 	InFlightHits int64 // hits on lines still being filled (MSHR merge)
 	Misses       int64
+
+	// PF classifies software prefetches by outcome. Populated only on the
+	// level where swPf tags are planted (L1 in this hierarchy); see
+	// PrefetchQuality for the taxonomy.
+	PF PrefetchQuality
 }
 
 // New builds a cache level. Sizes that are not an exact multiple of
@@ -59,7 +66,7 @@ func New(name string, cfg Config) *Cache {
 	n := sets * int64(cfg.Ways)
 	c := &Cache{name: name, sets: sets, ways: cfg.Ways,
 		tags: make([]int64, n), readyAt: make([]int64, n), lastUse: make([]int64, n),
-		hwPf: make([]bool, n)}
+		hwPf: make([]bool, n), swPf: make([]bool, n)}
 	for i := range c.tags {
 		c.tags[i] = -1
 	}
@@ -76,13 +83,20 @@ func (c *Cache) Reset() {
 		c.readyAt[i] = 0
 		c.lastUse[i] = 0
 		c.hwPf[i] = false
+		c.swPf[i] = false
 	}
 	c.Hits, c.InFlightHits, c.Misses = 0, 0, 0
+	c.PF = PrefetchQuality{}
 }
 
 // lookup probes for line; on hit it refreshes LRU state and returns the
-// fill-ready cycle.
-func (c *Cache) lookup(line, now int64) (readyAt int64, hit bool) {
+// fill-ready cycle. demand distinguishes demand accesses from software
+// prefetches: the first demand touch of a software-prefetched line
+// classifies the prefetch as timely (fill already landed) or late (fill
+// still in flight) and consumes the tag. Classification costs one bool
+// test on the hit way, so the demand path is unchanged when no prefetch
+// tags exist.
+func (c *Cache) lookup(line, now int64, demand bool) (readyAt int64, hit bool) {
 	set := line % c.sets
 	base := set * int64(c.ways)
 	for w := 0; w < c.ways; w++ {
@@ -93,6 +107,14 @@ func (c *Cache) lookup(line, now int64) (readyAt int64, hit bool) {
 				c.InFlightHits++
 			} else {
 				c.Hits++
+			}
+			if c.swPf[i] && demand {
+				c.swPf[i] = false
+				if c.readyAt[i] > now {
+					c.PF.Late++
+				} else {
+					c.PF.Timely++
+				}
 			}
 			return c.readyAt[i], true
 		}
@@ -118,6 +140,13 @@ func (c *Cache) install(line, fillAt, now int64) {
 			victim = i
 		}
 	}
+	if c.swPf[victim] && c.tags[victim] != -1 {
+		// A software-prefetched line is leaving without ever being
+		// demand-touched: the prefetch was early (or plain wrong) and only
+		// polluted the cache.
+		c.PF.Evicted++
+		c.swPf[victim] = false
+	}
 	c.tags[victim] = line
 	c.readyAt[victim] = fillAt
 	c.lastUse[victim] = now
@@ -133,6 +162,20 @@ func (c *Cache) installPrefetched(line, fillAt, now int64) {
 		i := base + int64(w)
 		if c.tags[i] == line {
 			c.hwPf[i] = true
+			return
+		}
+	}
+}
+
+// markSWPrefetched sets the software-prefetch classification tag on a
+// resident line (the one a PrefetchAccess just installed).
+func (c *Cache) markSWPrefetched(line int64) {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			c.swPf[i] = true
 			return
 		}
 	}
@@ -319,24 +362,28 @@ type AccessResult struct {
 	NewMiss    bool  // true when a new L1 MSHR was allocated (L1 missed and no in-flight fill matched)
 }
 
-// Access performs a demand access (load, store RFO, atomic, or prefetch)
-// to word address addr at cycle now. It updates replacement and fill state
+// Access performs a demand access (load, store RFO, or atomic) to word
+// address addr at cycle now. It updates replacement and fill state
 // immediately; timing is conveyed via CompleteAt.
 func (h *Hierarchy) Access(addr, now int64) AccessResult {
+	return h.access(addr, now, true)
+}
+
+func (h *Hierarchy) access(addr, now int64, demand bool) AccessResult {
 	line := LineOf(addr)
-	if readyAt, hit := h.L1.lookup(line, now); hit {
+	if readyAt, hit := h.L1.lookup(line, now, demand); hit {
 		if readyAt > now {
 			// Merged into the in-flight fill: an MSHR already exists.
 			return AccessResult{CompleteAt: readyAt, Level: LevelL1}
 		}
 		return AccessResult{CompleteAt: now + h.cfg.L1Lat, Level: LevelL1}
 	}
-	if readyAt, hit := h.L2.lookup(line, now); hit {
+	if readyAt, hit := h.L2.lookup(line, now, demand); hit {
 		fill := max(now+h.cfg.L2Lat, readyAt)
 		h.L1.install(line, fill, now)
 		return AccessResult{CompleteAt: fill, Level: LevelL2, NewMiss: true}
 	}
-	if readyAt, hit := h.LLC.lookup(line, now); hit {
+	if readyAt, hit := h.LLC.lookup(line, now, demand); hit {
 		fill := max(now+h.cfg.LLCLat, readyAt)
 		h.L2.install(line, fill, now)
 		h.L1.install(line, fill, now)
@@ -348,6 +395,28 @@ func (h *Hierarchy) Access(addr, now int64) AccessResult {
 	h.L1.install(line, fill, now)
 	return AccessResult{CompleteAt: fill, Level: LevelDRAM, NewMiss: true}
 }
+
+// PrefetchAccess performs a software-prefetch access: the same timing and
+// fill behaviour as Access, plus prefetch-quality accounting. A prefetch
+// that allocates a new L1 fill (or promotion from an outer level) is
+// counted as issued and its line tagged for classification at the first
+// demand touch; a prefetch to a line already resident or in flight in L1
+// is redundant. Prefetches do not train the hardware streamer and never
+// classify tags (only demand touches do).
+func (h *Hierarchy) PrefetchAccess(addr, now int64) AccessResult {
+	res := h.access(addr, now, false)
+	if res.NewMiss {
+		h.L1.PF.Issued++
+		h.L1.markSWPrefetched(LineOf(addr))
+	} else {
+		h.L1.PF.Redundant++
+	}
+	return res
+}
+
+// PrefetchQuality returns the software-prefetch classification counters
+// accumulated so far (tags live in L1, so that is where they count).
+func (h *Hierarchy) PrefetchQuality() PrefetchQuality { return h.L1.PF }
 
 // DemandAccess is Access plus the hardware next-line prefetcher: demand
 // loads, stores, and atomics go through here; software prefetches use

@@ -127,7 +127,7 @@ func TestLRUEvictsOldestWithinSet(t *testing.T) {
 	c := New("t", Config{SizeWords: 2 * mem.LineWords, Ways: 2}) // 1 set, 2 ways
 	c.install(1, 0, 10)
 	c.install(2, 0, 20)
-	c.lookup(1, 30) // refresh line 1
+	c.lookup(1, 30, true) // refresh line 1
 	c.install(3, 0, 40)
 	if !c.Contains(1, 50) {
 		t.Error("recently used line 1 was evicted")

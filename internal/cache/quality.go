@@ -1,0 +1,64 @@
+package cache
+
+// PrefetchQuality classifies software prefetches by outcome, following
+// the taxonomy helper-prefetching evaluations use (e.g. Helper Without
+// Threads): a prefetch is useful when a demand access touches the line it
+// brought in, timely when that fill had already landed, late when the
+// demand arrived while the fill was still in flight (partial latency
+// hiding), and harmful when the line was evicted untouched (pollution)
+// or was already present (redundant bandwidth).
+//
+// The counters are maintained inline by the cache level that plants the
+// classification tags (L1): Issued/Redundant at PrefetchAccess,
+// Timely/Late at the first demand touch in lookup, Evicted at
+// replacement in install. Lines still resident and untouched at end of
+// run are Unused.
+type PrefetchQuality struct {
+	Issued    int64 // prefetches that allocated a new fill or promotion
+	Redundant int64 // prefetches to lines already resident or in flight
+	Timely    int64 // demand touch after the fill landed: full latency hidden
+	Late      int64 // demand touch while the fill was in flight: partial hiding
+	Evicted   int64 // prefetched lines replaced before any demand touch
+}
+
+// Useful returns the prefetches a demand access actually consumed.
+func (q PrefetchQuality) Useful() int64 { return q.Timely + q.Late }
+
+// Unused returns the issued prefetches neither consumed nor (yet)
+// evicted — lines still sitting untouched at end of run.
+func (q PrefetchQuality) Unused() int64 {
+	u := q.Issued - q.Timely - q.Late - q.Evicted
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// Accuracy is the fraction of all executed prefetches (including
+// redundant ones) that were consumed by a demand access.
+func (q PrefetchQuality) Accuracy() float64 {
+	total := q.Issued + q.Redundant
+	if total == 0 {
+		return 0
+	}
+	return float64(q.Useful()) / float64(total)
+}
+
+// Timeliness is the fraction of useful prefetches whose fill had fully
+// landed before the demand access wanted the data.
+func (q PrefetchQuality) Timeliness() float64 {
+	if u := q.Useful(); u != 0 {
+		return float64(q.Timely) / float64(u)
+	}
+	return 0
+}
+
+// Add accumulates counters from another quality record (per-core →
+// per-run aggregation).
+func (q *PrefetchQuality) Add(o PrefetchQuality) {
+	q.Issued += o.Issued
+	q.Redundant += o.Redundant
+	q.Timely += o.Timely
+	q.Late += o.Late
+	q.Evicted += o.Evicted
+}

@@ -172,7 +172,9 @@ func EmitSync(b *isa.Builder, st *SyncState, skip func()) {
 	b.BGT(st.Local, st.mainR, notBehind)
 	b.Const(st.Flag, 0)
 	if skip != nil {
+		skipStart := b.Len()
 		skip()
+		b.FlagRange(skipStart, b.Len(), isa.FlagSyncSkip)
 	}
 	b.Jmp(end)
 

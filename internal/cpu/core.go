@@ -7,6 +7,7 @@ import (
 	"ghostthread/internal/cache"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
+	"ghostthread/internal/obs"
 )
 
 // entry states.
@@ -58,11 +59,23 @@ type thread struct {
 	waitBranch        int32 // ROB slot of the unresolved hard branch stalling dispatch, or -1
 
 	// Per-run statistics.
-	committed     int64
-	serializes    int64
-	frontendStall int64 // cycles active with an empty ROB (fetch-blocked)
-	stallPC       []int64
-	execPC        []int64
+	committed      int64
+	serializes     int64
+	serializeStall int64 // Σ (commit − dispatch) cycles over retired serializes
+	frontendStall  int64 // cycles active with an empty ROB (fetch-blocked)
+	stallPC        []int64
+	execPC         []int64
+
+	// Serialize bookkeeping: dispatch cycle and pc of the serialize
+	// currently blocking fetch (meaningful while serializeBlocked).
+	serStart int64
+	serPC    int32
+
+	// Tracing-only state (mutated only when a recorder is attached, and
+	// never read by the timing model or statistics).
+	robStallStart int64 // open full-window stall span start, -1 when none
+	robStallPC    int32
+	inSkip        bool // inside a FlagSyncSkip run (dedups skip instants)
 }
 
 func (t *thread) reset(prog *isa.Program, robSize int, startAt int64) {
@@ -90,7 +103,11 @@ func (t *thread) reset(prog *isa.Program, robSize int, startAt int64) {
 	t.waitBranch = -1
 	t.committed = 0
 	t.serializes = 0
+	t.serializeStall = 0
 	t.frontendStall = 0
+	t.serStart, t.serPC = 0, 0
+	t.robStallStart, t.robStallPC = -1, 0
+	t.inSkip = false
 	if prog != nil {
 		t.stallPC = make([]int64, len(prog.Code))
 		t.execPC = make([]int64, len(prog.Code))
@@ -130,7 +147,17 @@ type Core struct {
 	// Accumulated per-context counters surviving helper re-spawns.
 	accCommitted  [2]int64
 	accSerializes [2]int64
+	accSerStall   [2]int64
 	accFrontend   [2]int64
+
+	// Observability (nil = off; see internal/obs). Emission sites guard
+	// with a nil check so the disabled hot path costs one branch, and
+	// neither tracing nor metrics ever feeds back into timing or
+	// statistics — a traced run is bit-identical to an untraced one.
+	trace      *obs.Recorder
+	met        *obs.CoreMetrics
+	id         uint8 // core id stamped into trace events
+	ghostStart int64 // spawn-dispatch cycle of the live helper (tracing)
 
 	err error
 }
@@ -151,7 +178,9 @@ func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
 	c.threads[1].reset(nil, c.cfg.ROBSize, 0)
 	c.accCommitted = [2]int64{}
 	c.accSerializes = [2]int64{}
+	c.accSerStall = [2]int64{}
 	c.accFrontend = [2]int64{}
+	c.ghostStart = 0
 	c.now = 0
 	c.events.ev = c.events.ev[:0]
 	c.mshrInUse = 0
@@ -217,7 +246,48 @@ func (c *Core) Step() bool {
 	}
 	c.issue()
 	c.dispatch()
+	if c.trace != nil {
+		c.traceStalls()
+	}
 	return !c.Done()
+}
+
+// traceStalls runs at the end of every stepped cycle when tracing is on:
+// it opens a full-window stall span when a context's reorder window is
+// full behind an uncommittable head and closes it when the condition
+// clears. The predicate is a pure function of pipeline state, and state
+// only changes at stepped cycles, so the spans come out identical under
+// per-cycle stepping and the event-skip fast path — a SkipTo jump cannot
+// land inside a state transition (see NextEvent's contract).
+func (c *Core) traceStalls() {
+	for i := range c.threads {
+		t := &c.threads[i]
+		blocked := false
+		var pc int32
+		if t.active && !t.finished && t.count >= c.robCap() {
+			h := &t.rob[t.head]
+			if h.state == stWaiting || h.state == stReady || h.state == stIssued {
+				blocked = true
+				pc = h.pc
+			}
+		}
+		switch {
+		case blocked && t.robStallStart < 0:
+			t.robStallStart = c.now
+			t.robStallPC = pc
+		case !blocked && t.robStallStart >= 0:
+			c.closeROBStall(t)
+		}
+	}
+}
+
+// closeROBStall emits the open full-window stall span of t, ending now.
+func (c *Core) closeROBStall(t *thread) {
+	if dur := c.now - t.robStallStart; dur > 0 {
+		c.trace.Emit(obs.Event{Cycle: t.robStallStart, Dur: dur, Arg: int64(t.robStallPC),
+			Kind: obs.KindROBStall, Core: c.id, Ctx: uint8(t.id)})
+	}
+	t.robStallStart = -1
 }
 
 // Run steps until completion or maxCycles, returning the cycle count.
@@ -424,6 +494,7 @@ func (c *Core) commit(t *thread) {
 	if t.count == 0 {
 		if t.halted {
 			t.finished = true
+			c.traceGhostDrain(t)
 		} else if c.now >= t.startAt {
 			t.frontendStall++
 		}
@@ -443,6 +514,15 @@ func (c *Core) commit(t *thread) {
 			}
 			t.serializeBlocked = false
 			t.serializes++
+			dur := c.now - t.serStart
+			t.serializeStall += dur
+			if c.met != nil && c.met.SerializeStall != nil {
+				c.met.SerializeStall.Observe(dur)
+			}
+			if c.trace != nil && dur > 0 {
+				c.trace.Emit(obs.Event{Cycle: t.serStart, Dur: dur, Arg: int64(e.pc),
+					Kind: obs.KindSerialize, Core: c.id, Ctx: uint8(t.id)})
+			}
 		} else if e.state != stDone {
 			if w == 0 {
 				t.stallPC[e.pc]++
@@ -459,6 +539,19 @@ func (c *Core) commit(t *thread) {
 	}
 	if t.count == 0 && t.halted {
 		t.finished = true
+		c.traceGhostDrain(t)
+	}
+}
+
+// traceGhostDrain closes the ghost-life span when the helper context
+// finishes by draining naturally.
+func (c *Core) traceGhostDrain(t *thread) {
+	if c.trace == nil || t.id != 1 {
+		return
+	}
+	if dur := c.now - c.ghostStart; dur > 0 {
+		c.trace.Emit(obs.Event{Cycle: c.ghostStart, Dur: dur,
+			Kind: obs.KindGhostLife, Core: c.id, Ctx: 1})
 	}
 }
 
@@ -512,6 +605,7 @@ func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
 		if res.NewMiss {
 			c.mshrInUse++
 			c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
+			c.observeFill(t, e.addr, res)
 		}
 		completeAt = res.CompleteAt
 	case isa.OpPrefetch:
@@ -519,12 +613,17 @@ func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
 		if wouldMiss && c.mshrInUse >= c.cfg.MSHRs {
 			return false
 		}
-		res := c.hier.Access(e.addr, c.now)
+		res := c.hier.PrefetchAccess(e.addr, c.now)
 		c.PrefetchLevel[res.Level]++
 		c.Prefetches++
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{Cycle: c.now, Arg: e.addr, Kind: obs.KindPrefetch,
+				Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
+		}
 		if res.NewMiss {
 			c.mshrInUse++
 			c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
+			c.observeFill(t, e.addr, res)
 		}
 		completeAt = c.now + 1 // fire-and-forget: retires without the fill
 	case isa.OpStore:
@@ -544,6 +643,21 @@ func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
 	e.completeAt = completeAt
 	c.events.push(event{at: completeAt, thread: int8(t.id), kind: evComplete, gen: t.gen, idx: idx})
 	return true
+}
+
+// observeFill records a newly allocated L1 fill: an MSHR-occupancy
+// observation and, when tracing, a fill span on the mem track covering
+// the in-flight window.
+func (c *Core) observeFill(t *thread, addr int64, res cache.AccessResult) {
+	if c.met != nil && c.met.MSHROccupancy != nil {
+		c.met.MSHROccupancy.Observe(int64(c.mshrInUse))
+	}
+	if c.trace != nil {
+		if dur := res.CompleteAt - c.now; dur > 0 {
+			c.trace.Emit(obs.Event{Cycle: c.now, Dur: dur, Arg: addr, Kind: obs.KindFill,
+				Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
+		}
+	}
 }
 
 // dispatch fetches, functionally executes, and inserts instructions into
@@ -700,6 +814,8 @@ func (c *Core) dispatchOne(t *thread) bool {
 	case isa.OpSerialize:
 		t.serializeBlocked = true
 		e.state = stSerialize
+		t.serStart = c.now
+		t.serPC = int32(t.pc)
 	case isa.OpJmp:
 		nextPC = int(in.Target)
 	case isa.OpBEQ:
@@ -739,6 +855,11 @@ func (c *Core) dispatchOne(t *thread) bool {
 		// threads rely on this for their live-ins.
 		c.threads[1].regs = t.regs
 		c.Spawns++
+		c.ghostStart = c.now
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{Cycle: c.now, Arg: int64(hid),
+				Kind: obs.KindGhostSpawn, Core: c.id, Ctx: uint8(t.id)})
+		}
 		bl := c.now + c.cfg.SpawnCostMain
 		if bl > t.fetchBlockedUntil {
 			t.fetchBlockedUntil = bl
@@ -746,11 +867,38 @@ func (c *Core) dispatchOne(t *thread) bool {
 	case isa.OpJoin:
 		h := &c.threads[1]
 		if h.active && !h.finished {
+			if h.serializeBlocked {
+				// The kill interrupts a serialize throttle mid-flight:
+				// account the partial stall so the counter (and the span
+				// sum) covers every throttled cycle.
+				dur := c.now - h.serStart
+				h.serializeStall += dur
+				if c.met != nil && c.met.SerializeStall != nil {
+					c.met.SerializeStall.Observe(dur)
+				}
+				if c.trace != nil && dur > 0 {
+					c.trace.Emit(obs.Event{Cycle: h.serStart, Dur: dur, Arg: int64(h.serPC),
+						Kind: obs.KindSerialize, Core: c.id, Ctx: 1})
+				}
+			}
+			if c.trace != nil {
+				if h.robStallStart >= 0 {
+					c.closeROBStall(h)
+				}
+				if dur := c.now - c.ghostStart; dur > 0 {
+					c.trace.Emit(obs.Event{Cycle: c.ghostStart, Dur: dur,
+						Kind: obs.KindGhostLife, Core: c.id, Ctx: 1})
+				}
+			}
 			// Deactivate: the helper is killed mid-flight (ghost threads
 			// modify no application state, so this is safe).
 			h.active = false
 			h.finished = true
 			h.gen++ // invalidate its in-flight completions
+		}
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{Cycle: c.now, Kind: obs.KindGhostJoin,
+				Core: c.id, Ctx: uint8(t.id)})
 		}
 		bl := c.now + c.cfg.JoinCost
 		if bl > t.fetchBlockedUntil {
@@ -761,6 +909,27 @@ func (c *Core) dispatchOne(t *thread) bool {
 	default:
 		c.err = fmt.Errorf("cpu: %q pc %d: unimplemented op %s", t.prog.Name, t.pc, in.Op)
 		return false
+	}
+
+	// Observability taps (no effect on timing or statistics).
+	if c.trace != nil {
+		if in.Flags&isa.FlagSyncSkip != 0 {
+			if !t.inSkip {
+				t.inSkip = true
+				c.trace.Emit(obs.Event{Cycle: c.now, Arg: int64(t.pc),
+					Kind: obs.KindSyncSkip, Core: c.id, Ctx: uint8(t.id)})
+			}
+		} else {
+			t.inSkip = false
+		}
+	}
+	if c.met != nil && c.met.GhostLead != nil && t.id == 1 && in.Op == isa.OpLoad &&
+		in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync {
+		// A sync check: the ghost just read the main thread's published
+		// counter. Its own count is the published ghost counter word
+		// (requires core.SyncParams.Trace).
+		lead := c.mem.LoadWord(c.met.GhostCounterAddr) - t.regs[in.Dst]
+		c.met.GhostLead.Observe(lead)
 	}
 
 	// Hard branches stall dispatch until resolution.
@@ -824,8 +993,9 @@ func (c *Core) accumulate(id int) {
 	t := &c.threads[id]
 	c.accCommitted[id] += t.committed
 	c.accSerializes[id] += t.serializes
+	c.accSerStall[id] += t.serializeStall
 	c.accFrontend[id] += t.frontendStall
-	t.committed, t.serializes, t.frontendStall = 0, 0, 0
+	t.committed, t.serializes, t.serializeStall, t.frontendStall = 0, 0, 0, 0
 }
 
 // Committed returns the number of instructions committed by context id,
@@ -836,10 +1006,33 @@ func (c *Core) Committed(id int) int64 { return c.accCommitted[id] + c.threads[i
 // across helper re-spawns.
 func (c *Core) Serializes(id int) int64 { return c.accSerializes[id] + c.threads[id].serializes }
 
+// SerializeStall returns the total cycles context id spent with fetch
+// stopped behind serialize instructions (dispatch to commit per
+// serialize, including the partial window of a serialize killed by a
+// join), across helper re-spawns. It equals the sum of the
+// serialize-throttle span durations in a trace of the same run.
+func (c *Core) SerializeStall(id int) int64 {
+	return c.accSerStall[id] + c.threads[id].serializeStall
+}
+
 // FrontendStalls returns cycles context id spent active with an empty ROB.
 func (c *Core) FrontendStalls(id int) int64 {
 	return c.accFrontend[id] + c.threads[id].frontendStall
 }
+
+// SetTrace attaches (or with nil detaches) an event recorder; coreID is
+// stamped into emitted events as the Perfetto process id. Attach before
+// running — events are emitted from the attach point on.
+func (c *Core) SetTrace(r *obs.Recorder, coreID int) {
+	c.trace = r
+	c.id = uint8(coreID)
+}
+
+// Trace returns the attached recorder, or nil.
+func (c *Core) Trace() *obs.Recorder { return c.trace }
+
+// SetMetrics attaches (or with nil detaches) histogram hooks.
+func (c *Core) SetMetrics(m *obs.CoreMetrics) { c.met = m }
 
 // PCProfile returns per-static-instruction (stall cycles, executions) for
 // context id's current program. The slices alias internal state; callers

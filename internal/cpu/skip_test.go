@@ -8,6 +8,7 @@ import (
 	"ghostthread/internal/cache"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
+	"ghostthread/internal/obs"
 )
 
 // coreStats captures every externally observable statistic of a finished
@@ -18,6 +19,7 @@ type coreStats struct {
 	err           string
 	committed     [2]int64
 	serializes    [2]int64
+	serStall      [2]int64
 	frontend      [2]int64
 	stall         []int64
 	exec          []int64
@@ -31,6 +33,7 @@ type coreStats struct {
 	llc           [3]int64
 	hwPrefetches  int64
 	transfers     int64
+	pfQuality     cache.PrefetchQuality
 }
 
 func cacheCounters(c *cache.Cache) [3]int64 {
@@ -42,6 +45,7 @@ func statsOf(c *Core) coreStats {
 		cycles:        c.Now(),
 		committed:     [2]int64{c.Committed(0), c.Committed(1)},
 		serializes:    [2]int64{c.Serializes(0), c.Serializes(1)},
+		serStall:      [2]int64{c.SerializeStall(0), c.SerializeStall(1)},
 		frontend:      [2]int64{c.FrontendStalls(0), c.FrontendStalls(1)},
 		loadLevel:     c.LoadLevel,
 		prefetchLevel: c.PrefetchLevel,
@@ -53,6 +57,7 @@ func statsOf(c *Core) coreStats {
 		llc:           cacheCounters(c.Hier().LLC),
 		hwPrefetches:  c.Hier().HWPrefetches,
 		transfers:     c.Hier().MC.Transfers,
+		pfQuality:     c.Hier().PrefetchQuality(),
 	}
 	if c.Err() != nil {
 		s.err = c.Err().Error()
@@ -225,6 +230,81 @@ func TestSkipEquivalenceGhostHelper(t *testing.T) {
 
 	diffCase(t, "ghost", cfg, 1<<16, chaseInit(base, 1<<9, 9),
 		b.MustBuild(), []*isa.Program{hb.MustBuild()}, 10_000_000)
+}
+
+// TestTraceDifferentialCore: attaching a recorder and metrics hooks to a
+// core must leave every statistic bit-identical — the cpu-level version
+// of the sim-package tracing differential, on the spawn/join/serialize
+// rig that exercises the most emission sites (including the partial
+// serialize span at a join kill).
+func TestTraceDifferentialCore(t *testing.T) {
+	base := int64(1 << 13)
+	build := func() (*isa.Program, []*isa.Program) {
+		hb := isa.NewBuilder("ghost")
+		hptr := hb.Imm(base)
+		hzero := hb.Imm(0)
+		hn := hb.Imm(512)
+		hb.CountedLoop("pf", hzero, hn, func(i isa.Reg) {
+			hb.Load(hptr, hptr, 0)
+			hb.Prefetch(hptr, 0)
+			hb.Serialize()
+		})
+		hb.Halt()
+
+		b := isa.NewBuilder("main")
+		b.Spawn(0)
+		ptr := b.Imm(base)
+		zero := b.Imm(0)
+		n := b.Imm(128)
+		acc := b.Imm(0)
+		b.CountedLoop("walk", zero, n, func(i isa.Reg) {
+			b.Load(ptr, ptr, 0)
+			b.Add(acc, acc, ptr)
+		})
+		b.Join()
+		out := b.Imm(64)
+		b.Store(out, 0, acc)
+		b.Halt()
+		return b.MustBuild(), []*isa.Program{hb.MustBuild()}
+	}
+
+	run := func(traced bool) (coreStats, []obs.Event) {
+		main, helpers := build()
+		c := buildRig(DefaultConfig(), 1<<16, chaseInit(base, 1<<9, 9))
+		c.Load(main, helpers)
+		var rec *obs.Recorder
+		if traced {
+			rec = obs.NewRecorder(1 << 16)
+			c.SetTrace(rec, 0)
+			c.SetMetrics(obs.DefaultCoreMetrics(obs.NewRegistry(), DefaultConfig().MSHRs, 0))
+		}
+		if _, err := c.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var events []obs.Event
+		if traced {
+			events = rec.Events()
+		}
+		return statsOf(c), events
+	}
+
+	off, _ := run(false)
+	on, events := run(true)
+	if !reflect.DeepEqual(off, on) {
+		t.Errorf("tracing changed core statistics\n off: %+v\n  on: %+v", off, on)
+	}
+	if len(events) == 0 {
+		t.Fatal("traced run recorded no events; test proves nothing")
+	}
+	var spanSum int64
+	for _, e := range events {
+		if e.Kind == obs.KindSerialize {
+			spanSum += e.Dur
+		}
+	}
+	if want := on.serStall[0] + on.serStall[1]; spanSum != want {
+		t.Errorf("serialize spans sum to %d, counter says %d", spanSum, want)
+	}
 }
 
 func TestSkipEquivalenceJoinWait(t *testing.T) {

@@ -1,0 +1,57 @@
+package cpu
+
+import "ghostthread/internal/cache"
+
+// Stats is a complete end-of-run statistics snapshot of one core: every
+// counter the timing model maintains, in one comparable value. The
+// observability differential suites assert that a traced run's Stats are
+// deeply equal to an untraced run's, and the event-skip suites that
+// skipping matches per-cycle stepping.
+type Stats struct {
+	Cycles int64
+
+	// Per-context counters (index 0 = main, 1 = helper), accumulated
+	// across helper re-spawns.
+	Committed      [2]int64
+	Serializes     [2]int64
+	SerializeStall [2]int64
+	FrontendStalls [2]int64
+
+	// Memory-system counters.
+	LoadLevel     [4]int64 // demand loads + atomics satisfied per level
+	PrefetchLevel [4]int64 // software prefetches satisfied per level
+	Stores        int64
+	Prefetches    int64
+	Spawns        int64
+
+	L1Hits, L1InFlightHits, L1Misses int64
+	L2Hits, L2InFlightHits, L2Misses int64
+	HWPrefetches                     int64
+
+	// Prefetch classifies the software prefetches by outcome.
+	Prefetch cache.PrefetchQuality
+}
+
+// Stats snapshots the core's counters at the current cycle.
+func (c *Core) Stats() Stats {
+	s := Stats{
+		Cycles:        c.now,
+		LoadLevel:     c.LoadLevel,
+		PrefetchLevel: c.PrefetchLevel,
+		Stores:        c.Stores,
+		Prefetches:    c.Prefetches,
+		Spawns:        c.Spawns,
+		HWPrefetches:  c.hier.HWPrefetches,
+		Prefetch:      c.hier.PrefetchQuality(),
+	}
+	for id := 0; id < 2; id++ {
+		s.Committed[id] = c.Committed(id)
+		s.Serializes[id] = c.Serializes(id)
+		s.SerializeStall[id] = c.SerializeStall(id)
+		s.FrontendStalls[id] = c.FrontendStalls(id)
+	}
+	l1, l2 := c.hier.L1, c.hier.L2
+	s.L1Hits, s.L1InFlightHits, s.L1Misses = l1.Hits, l1.InFlightHits, l1.Misses
+	s.L2Hits, s.L2InFlightHits, s.L2Misses = l2.Hits, l2.InFlightHits, l2.Misses
+	return s
+}

@@ -51,6 +51,10 @@ type Row struct {
 	EnergySaving   map[string]float64
 	Unavailable    map[string]string // technique -> reason ('x' ticks)
 
+	// Prefetch holds the prefetch-quality summary per technique, for the
+	// techniques whose run executed software prefetches.
+	Prefetch map[string]PrefetchReport
+
 	// SimCycles is the total simulated cycles this row represents
 	// (profiling run + every successful variant run), the numerator of
 	// the harness's simulated-cycles-per-second throughput metric. It is
@@ -170,6 +174,7 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 		Speedup:      map[string]float64{},
 		EnergySaving: map[string]float64{},
 		Unavailable:  map[string]string{},
+		Prefetch:     map[string]PrefetchReport{},
 		SimCycles:    rep.TotalCycles,
 	}
 	em := energy.DefaultModel()
@@ -204,6 +209,9 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 		}
 		row.Speedup[tech] = float64(base.Cycles) / float64(res.Cycles)
 		row.EnergySaving[tech] = em.Saving(base, res)
+		if q := res.Prefetch; q.Issued+q.Redundant > 0 {
+			row.Prefetch[tech] = NewPrefetchReport(res)
+		}
 	}
 
 	// SWPF.

@@ -1,0 +1,52 @@
+package harness
+
+import "ghostthread/internal/sim"
+
+// LevelCounts names per-cache-level counters so JSON consumers see
+// {"l1":…,"l2":…,"l3":…,"dram":…} instead of a bare positional array.
+type LevelCounts struct {
+	L1   int64 `json:"l1"`
+	L2   int64 `json:"l2"`
+	L3   int64 `json:"l3"`
+	DRAM int64 `json:"dram"`
+}
+
+// NewLevelCounts converts the simulator's positional per-level array
+// (index 0=L1 … 3=DRAM) to the named form.
+func NewLevelCounts(a [4]int64) LevelCounts {
+	return LevelCounts{L1: a[0], L2: a[1], L3: a[2], DRAM: a[3]}
+}
+
+// PrefetchReport is the prefetch-quality summary of one technique run:
+// where its software prefetches were satisfied, the outcome taxonomy
+// counts, and the derived accuracy/coverage/timeliness ratios (see
+// cache.PrefetchQuality and sim.Result for the definitions).
+type PrefetchReport struct {
+	Levels     LevelCounts `json:"levels"`
+	Issued     int64       `json:"issued"`
+	Redundant  int64       `json:"redundant"`
+	Timely     int64       `json:"timely"`
+	Late       int64       `json:"late"`
+	Evicted    int64       `json:"evicted"`
+	Unused     int64       `json:"unused"`
+	Accuracy   float64     `json:"accuracy"`
+	Coverage   float64     `json:"coverage"`
+	Timeliness float64     `json:"timeliness"`
+}
+
+// NewPrefetchReport extracts the prefetch-quality summary from a run.
+func NewPrefetchReport(res sim.Result) PrefetchReport {
+	q := res.Prefetch
+	return PrefetchReport{
+		Levels:     NewLevelCounts(res.PrefetchLevel),
+		Issued:     q.Issued,
+		Redundant:  q.Redundant,
+		Timely:     q.Timely,
+		Late:       q.Late,
+		Evicted:    q.Evicted,
+		Unused:     q.Unused(),
+		Accuracy:   q.Accuracy(),
+		Coverage:   res.PrefetchCoverage(),
+		Timeliness: q.Timeliness(),
+	}
+}

@@ -37,6 +37,7 @@ func Dump(p *Program) string {
 			{FlagHardBranch, "!hard"},
 			{FlagBackedge, "!backedge"},
 			{FlagSync, "!sync"},
+			{FlagSyncSkip, "!skip"},
 		} {
 			if in.Flags&fl.f != 0 {
 				b.WriteByte(' ')
@@ -215,6 +216,8 @@ func parseInstrLine(line string) (int, Instr, error) {
 			in.Flags |= FlagBackedge
 		case last == "!sync":
 			in.Flags |= FlagSync
+		case last == "!skip":
+			in.Flags |= FlagSyncSkip
 		case strings.HasPrefix(last, "@"):
 			n, err := strconv.Atoi(last[1:])
 			if err != nil {

@@ -171,6 +171,12 @@ const (
 	// FlagSync marks instructions that belong to a synchronization segment
 	// inserted by internal/core (excluded from p-slice re-extraction).
 	FlagSync
+	// FlagSyncSkip marks the subset of a synchronization segment that
+	// implements the catch-up skip: the instructions that jump the ghost's
+	// induction state forward when it has fallen behind the main thread.
+	// Observability uses it to trace sync-segment skip events; skip
+	// instructions also carry FlagSync.
+	FlagSyncSkip
 )
 
 // Instr is one IR instruction.
@@ -330,8 +336,15 @@ func flagString(f Flag) string {
 	if f&FlagSync != 0 {
 		parts = append(parts, "sync")
 	}
+	if f&FlagSyncSkip != 0 {
+		parts = append(parts, "skip")
+	}
 	return strings.Join(parts, ",")
 }
+
+// String renders the instruction in disassembly form (without loop or
+// flag annotations).
+func (in *Instr) String() string { return formatInstr(in) }
 
 func formatInstr(in *Instr) string {
 	switch {

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ghostthread/internal/isa"
+)
+
+func TestRecorderBasic(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: KindPrefetch})
+	}
+	if r.Len() != 5 || r.Emitted() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d emitted=%d dropped=%d, want 5/5/0", r.Len(), r.Emitted(), r.Dropped())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if e.Cycle != int64(i) {
+			t.Fatalf("event %d has cycle %d, want emission order preserved", i, e.Cycle)
+		}
+	}
+}
+
+func TestRecorderWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i)})
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d (oldest retained first)", i, e.Cycle, want)
+		}
+	}
+
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("reset recorder not empty: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if got := len(r.buf); got != DefaultCapacity {
+		t.Fatalf("capacity = %d, want DefaultCapacity %d", got, DefaultCapacity)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("x", []int64{10, 20})
+	for _, v := range []int64{-3, 5, 10, 11, 20, 21, 1000} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	if len(b) != 3 {
+		t.Fatalf("bucket count = %d, want 3 (2 bounds + overflow)", len(b))
+	}
+	// Bounds are inclusive upper bounds: -3,5,10 <= 10; 11,20 <= 20; rest overflow.
+	if b[0].Count != 3 || b[1].Count != 2 || b[2].Count != 2 {
+		t.Fatalf("bucket counts = %d/%d/%d, want 3/2/2", b[0].Count, b[1].Count, b[2].Count)
+	}
+	if b[0].Le != 10 || b[1].Le != 20 || b[2].Le != 1<<63-1 {
+		t.Fatalf("bucket bounds = %d/%d/%d", b[0].Le, b[1].Le, b[2].Le)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.min != -3 || h.max != 1000 {
+		t.Fatalf("min/max = %d/%d, want -3/1000", h.min, h.max)
+	}
+	if want := int64(-3 + 5 + 10 + 11 + 20 + 21 + 1000); h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	if h.Mean() != float64(h.Sum())/7 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	h := NewHistogram("x", []int64{1})
+	if h.Mean() != 0 {
+		t.Fatalf("empty mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted non-ascending bounds")
+		}
+	}()
+	NewHistogram("bad", []int64{10, 10})
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.SetCounter("cycles", 123)
+	r.AddCounter("spawns", 2)
+	r.AddCounter("spawns", 3)
+	h := r.Histogram("lead", []int64{0, 16})
+	h.Observe(-1)
+	h.Observe(5)
+	h.Observe(99)
+	if r.Histogram("lead", nil) != h {
+		t.Fatal("Histogram did not return the existing registration")
+	}
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms []struct {
+			Name    string   `json:"name"`
+			Buckets []Bucket `json:"buckets"`
+			Count   int64    `json:"count"`
+			Sum     int64    `json:"sum"`
+			Min     int64    `json:"min"`
+			Max     int64    `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("registry JSON does not parse: %v", err)
+	}
+	if doc.Counters["cycles"] != 123 || doc.Counters["spawns"] != 5 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	if len(doc.Histograms) != 1 || doc.Histograms[0].Name != "lead" {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+	hs := doc.Histograms[0]
+	if hs.Count != 3 || hs.Min != -1 || hs.Max != 99 || hs.Sum != 103 {
+		t.Fatalf("histogram summary = %+v", hs)
+	}
+
+	// Deterministic output: a second render is byte-identical.
+	again, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("registry JSON is not deterministic")
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Kind: KindGhostSpawn, Arg: 1},
+		{Cycle: 12, Dur: 30, Kind: KindFill, Arg: 0x40, Level: 3, Ctx: 1},
+		{Cycle: 15, Dur: 20, Kind: KindSerialize, Arg: 7, Ctx: 1},
+		{Cycle: 40, Kind: KindSyncSkip, Arg: 3, Ctx: 1},
+		{Cycle: 50, Dur: 5, Kind: KindROBStall, Arg: 2},
+		{Cycle: 60, Kind: KindGhostJoin},
+		{Cycle: 10, Dur: 50, Kind: KindGhostLife, Ctx: 1},
+	}
+	data, err := ChromeTrace(events, "camel/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("exporter output fails its own validator: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TID   int    `json:"tid"`
+			Dur   int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 7 events + 4 metadata records for core 0.
+	if len(doc.TraceEvents) != 11 {
+		t.Fatalf("trace has %d events, want 11", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byName[e.Name]++
+		switch e.Name {
+		case "serialize-throttle":
+			if e.Phase != "X" || e.Dur != 20 {
+				t.Fatalf("serialize span = %+v", e)
+			}
+		case "DRAM-fill":
+			if e.TID != trackMem {
+				t.Fatalf("fill on tid %d, want mem track %d", e.TID, trackMem)
+			}
+		case "ghost-active":
+			if e.TID != trackGhost {
+				t.Fatalf("ghost-active on tid %d, want ghost track %d", e.TID, trackGhost)
+			}
+		case "ghost-spawn", "ghost-join":
+			if e.Phase != "i" || e.TID != trackMain {
+				t.Fatalf("%s = %+v, want instant on main track", e.Name, e)
+			}
+		}
+	}
+	for _, want := range []string{"ghost-spawn", "ghost-join", "ghost-active",
+		"serialize-throttle", "sync-skip", "rob-stall", "DRAM-fill"} {
+		if byName[want] == 0 {
+			t.Fatalf("trace is missing a %q event (have %v)", want, byName)
+		}
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", `{`, "not valid JSON"},
+		{"no traceEvents", `{"foo": 1}`, "no traceEvents"},
+		{"missing name", `{"traceEvents":[{"ph":"i","pid":0,"tid":0,"ts":1,"s":"t"}]}`, `"name"`},
+		{"missing ph", `{"traceEvents":[{"name":"x","pid":0,"tid":0,"ts":1}]}`, `"ph"`},
+		{"unknown phase", `{"traceEvents":[{"name":"x","ph":"Q","pid":0,"tid":0,"ts":1}]}`, "unknown phase"},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`, `"ts"`},
+		{"negative dur", `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":-5}]}`, "negative dur"},
+		{"backwards ts", `{"traceEvents":[
+			{"name":"a","ph":"i","pid":0,"tid":0,"ts":10,"s":"t"},
+			{"name":"b","ph":"i","pid":0,"tid":0,"ts":9,"s":"t"}]}`, "goes backwards"},
+	}
+	for _, c := range cases {
+		err := ValidateChrome([]byte(c.data))
+		if err == nil {
+			t.Fatalf("%s: validator accepted invalid trace", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	// Different tracks may interleave timestamps freely.
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"i","pid":0,"tid":0,"ts":10,"s":"t"},
+		{"name":"b","ph":"i","pid":0,"tid":1,"ts":5,"s":"t"}]}`
+	if err := ValidateChrome([]byte(ok)); err != nil {
+		t.Fatalf("cross-track timestamps rejected: %v", err)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	p := &isa.Program{
+		Name: "toy prog",
+		Code: []isa.Instr{
+			{Op: isa.OpAddI, Loop: -1},
+			{Op: isa.OpLoad, Loop: 1},
+			{Op: isa.OpHalt, Loop: -1},
+		},
+		Loops: []isa.Loop{
+			{ID: 0, Name: "outer", Func: "kernel", Parent: -1},
+			{ID: 1, Name: "inner", Func: "kernel", Parent: 0},
+		},
+	}
+	out := FoldedStacks(p, []int64{0, 42, 7})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (zero-weight pcs skipped):\n%s", len(lines), out)
+	}
+	// pc 1 is inside kernel.inner inside kernel.outer; outermost frame first.
+	if !strings.HasPrefix(lines[0], "toyprog;kernel.outer;kernel.inner;pc0001_") {
+		t.Fatalf("line 0 = %q, want toyprog;kernel.outer;kernel.inner;pc0001_…", lines[0])
+	}
+	if !strings.HasSuffix(lines[0], " 42") {
+		t.Fatalf("line 0 = %q, want weight 42 suffix", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "toyprog;pc0002_") || !strings.HasSuffix(lines[1], " 7") {
+		t.Fatalf("line 1 = %q, want loop-free frame with weight 7", lines[1])
+	}
+	for _, l := range lines {
+		if strings.Count(l, " ") != 1 {
+			t.Fatalf("folded line %q has embedded spaces beyond the weight separator", l)
+		}
+	}
+}

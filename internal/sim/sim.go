@@ -13,6 +13,7 @@ import (
 	"ghostthread/internal/cpu"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
+	"ghostthread/internal/obs"
 )
 
 // Config describes a machine.
@@ -112,17 +113,25 @@ func (s *System) Load(i int, main *isa.Program, helpers []*isa.Program) {
 	s.finishAt[i] = -1
 }
 
+// SetTrace attaches an event recorder to core i (nil detaches). Cores
+// may share one recorder — events carry the core id.
+func (s *System) SetTrace(i int, r *obs.Recorder) { s.cores[i].SetTrace(r, i) }
+
+// SetMetrics attaches histogram hooks to core i (nil detaches).
+func (s *System) SetMetrics(i int, m *obs.CoreMetrics) { s.cores[i].SetMetrics(m) }
+
 // Result summarises a run.
 type Result struct {
 	Cycles     int64   // cycles until the last core finished
 	CoreCycles []int64 // per-core finish cycle
 
-	Committed     int64 // instructions committed, all contexts
-	MainCommitted int64 // instructions committed by context 0 of core 0
-	Serializes    int64
-	Prefetches    int64
-	Spawns        int64
-	Stores        int64
+	Committed      int64 // instructions committed, all contexts
+	MainCommitted  int64 // instructions committed by context 0 of core 0
+	Serializes     int64
+	SerializeStall int64 // cycles fetch was stopped behind serializes, all contexts
+	Prefetches     int64
+	Spawns         int64
+	Stores         int64
 
 	LoadLevel     [4]int64 // demand loads satisfied per cache level
 	PrefetchLevel [4]int64
@@ -133,6 +142,30 @@ type Result struct {
 	DRAMTransfers      int64
 
 	FrontendStalls int64
+
+	// Prefetch classifies the software prefetches by outcome, summed over
+	// cores (see cache.PrefetchQuality for the taxonomy).
+	Prefetch cache.PrefetchQuality
+}
+
+// PrefetchAccuracy is the fraction of executed software prefetches a
+// demand access consumed.
+func (r *Result) PrefetchAccuracy() float64 { return r.Prefetch.Accuracy() }
+
+// PrefetchTimeliness is the fraction of useful prefetches whose fill had
+// fully landed before the demand access.
+func (r *Result) PrefetchTimeliness() float64 { return r.Prefetch.Timeliness() }
+
+// PrefetchCoverage is the fraction of beyond-L1 demand traffic the
+// software prefetches absorbed: useful / (useful + demand accesses that
+// still had to leave L1).
+func (r *Result) PrefetchCoverage() float64 {
+	missed := r.LoadLevel[1] + r.LoadLevel[2] + r.LoadLevel[3]
+	useful := r.Prefetch.Useful()
+	if useful+missed == 0 {
+		return 0
+	}
+	return float64(useful) / float64(useful+missed)
 }
 
 // Run simulates until every core is done, returning aggregate statistics.
@@ -184,6 +217,7 @@ func (s *System) Run() (Result, error) {
 		}
 		res.Committed += c.Committed(0) + c.Committed(1)
 		res.Serializes += c.Serializes(0) + c.Serializes(1)
+		res.SerializeStall += c.SerializeStall(0) + c.SerializeStall(1)
 		res.FrontendStalls += c.FrontendStalls(0) + c.FrontendStalls(1)
 		res.Prefetches += c.Prefetches
 		res.Spawns += c.Spawns
@@ -200,6 +234,7 @@ func (s *System) Run() (Result, error) {
 		res.L1Misses += h.L1.Misses
 		res.L2Hits += h.L2.Hits + h.L2.InFlightHits
 		res.L2Misses += h.L2.Misses
+		res.Prefetch.Add(h.PrefetchQuality())
 	}
 	res.LLCHits = s.llc.Hits + s.llc.InFlightHits
 	res.LLCMisses = s.llc.Misses

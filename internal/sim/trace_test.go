@@ -1,0 +1,190 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ghostthread/internal/cpu"
+	"ghostthread/internal/obs"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+// traceRun executes one workload/variant with or without observability
+// attached and returns the run Result, the core-0 statistics snapshot,
+// and the recorded events (nil when untraced).
+func traceRun(t *testing.T, workload, variant string, cycleStep, traced bool) (sim.Result, cpu.Stats, []obs.Event) {
+	t.Helper()
+	build, err := workloads.Lookup(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := build(workloads.ProfileOptions())
+	v := inst.VariantByName(variant)
+	if v == nil {
+		t.Fatalf("%s has no %s variant", workload, variant)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.CycleStep = cycleStep
+	s := sim.New(cfg, inst.Mem)
+	s.Load(0, v.Main, v.Helpers)
+	var rec *obs.Recorder
+	if traced {
+		rec = obs.NewRecorder(obs.DefaultCapacity)
+		s.SetTrace(0, rec)
+		s.SetMetrics(0, obs.DefaultCoreMetrics(obs.NewRegistry(), cfg.CPU.MSHRs, inst.Counters.GhostAddr))
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s/%s (CycleStep=%v traced=%v): %v", workload, variant, cycleStep, traced, err)
+	}
+	if err := inst.CheckFor(variant)(inst.Mem); err != nil {
+		t.Fatalf("%s/%s (CycleStep=%v traced=%v): result check: %v", workload, variant, cycleStep, traced, err)
+	}
+	var events []obs.Event
+	if traced {
+		if rec.Dropped() > 0 {
+			t.Fatalf("%s/%s: recorder wrapped (%d dropped); raise capacity so the suite sees every event",
+				workload, variant, rec.Dropped())
+		}
+		events = rec.Events()
+	}
+	return res, s.Core(0).Stats(), events
+}
+
+// TestTracingDoesNotPerturbStats is the differential bar from the issue:
+// attaching the recorder and metrics hooks must leave every statistic
+// bit-identical — on both the per-cycle reference loop and the
+// event-skip fast path. Observability is observation only.
+func TestTracingDoesNotPerturbStats(t *testing.T) {
+	for _, tc := range []struct{ workload, variant string }{
+		{"camel", "ghost"},
+		{"bfs.kron", "ghost"},
+		{"camel", "swpf"},
+	} {
+		for _, cycleStep := range []bool{true, false} {
+			offRes, offStats, _ := traceRun(t, tc.workload, tc.variant, cycleStep, false)
+			onRes, onStats, events := traceRun(t, tc.workload, tc.variant, cycleStep, true)
+			if !reflect.DeepEqual(offRes, onRes) {
+				t.Errorf("%s/%s (CycleStep=%v): tracing changed sim.Result\n off: %+v\n  on: %+v",
+					tc.workload, tc.variant, cycleStep, offRes, onRes)
+			}
+			if !reflect.DeepEqual(offStats, onStats) {
+				t.Errorf("%s/%s (CycleStep=%v): tracing changed cpu.Stats\n off: %+v\n  on: %+v",
+					tc.workload, tc.variant, cycleStep, offStats, onStats)
+			}
+			if len(events) == 0 {
+				t.Errorf("%s/%s (CycleStep=%v): traced run recorded no events; test proves nothing",
+					tc.workload, tc.variant, cycleStep)
+			}
+		}
+	}
+}
+
+// TestTraceIdenticalAcrossStepModes: the event stream itself — not just
+// the aggregate statistics — must be the same whether the simulator
+// stepped every cycle or skipped quiescent spans. Span events carry
+// absolute start + duration, which is what makes this hold.
+func TestTraceIdenticalAcrossStepModes(t *testing.T) {
+	for _, tc := range []struct{ workload, variant string }{
+		{"camel", "ghost"},
+		{"bfs.kron", "ghost"},
+	} {
+		_, _, ref := traceRun(t, tc.workload, tc.variant, true, true)
+		_, _, opt := traceRun(t, tc.workload, tc.variant, false, true)
+		if !reflect.DeepEqual(ref, opt) {
+			n := len(ref)
+			if len(opt) < n {
+				n = len(opt)
+			}
+			for i := 0; i < n; i++ {
+				if ref[i] != opt[i] {
+					t.Errorf("%s/%s: first divergent event at %d\n ref: %+v\nskip: %+v",
+						tc.workload, tc.variant, i, ref[i], opt[i])
+					break
+				}
+			}
+			t.Fatalf("%s/%s: event streams differ (ref %d events, skip %d)",
+				tc.workload, tc.variant, len(ref), len(opt))
+		}
+	}
+}
+
+// TestSerializeSpanSumMatchesCounter proves the acceptance-criteria
+// invariant: the serialize-throttle span durations in the trace sum to
+// exactly the SerializeStall counter, including the partial span of a
+// helper killed by join while still serialize-blocked.
+func TestSerializeSpanSumMatchesCounter(t *testing.T) {
+	for _, cycleStep := range []bool{true, false} {
+		_, stats, events := traceRun(t, "camel", "ghost", cycleStep, true)
+		var spanSum int64
+		var spans int
+		for _, e := range events {
+			if e.Kind == obs.KindSerialize {
+				spanSum += e.Dur
+				spans++
+			}
+		}
+		total := stats.SerializeStall[0] + stats.SerializeStall[1]
+		if spanSum != total {
+			t.Errorf("CycleStep=%v: serialize spans sum to %d, SerializeStall counter is %d",
+				cycleStep, spanSum, total)
+		}
+		if spans == 0 || total == 0 {
+			t.Errorf("CycleStep=%v: no serialize activity (%d spans, %d stall); test proves nothing",
+				cycleStep, spans, total)
+		}
+	}
+}
+
+// TestGhostLeadHistogramPopulates: with SyncParams.Trace on (the ghost
+// publishes its iteration count), every sync-segment check observes the
+// ghost's lead, and the histogram's totals line up with the sync count.
+func TestGhostLeadHistogramPopulates(t *testing.T) {
+	build, err := workloads.Lookup("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := workloads.ProfileOptions()
+	opts.Sync.Trace = true
+	inst := build(opts)
+	v := inst.VariantByName("ghost")
+	cfg := sim.DefaultConfig()
+	s := sim.New(cfg, inst.Mem)
+	s.Load(0, v.Main, v.Helpers)
+	reg := obs.NewRegistry()
+	met := obs.DefaultCoreMetrics(reg, cfg.CPU.MSHRs, inst.Counters.GhostAddr)
+	s.SetMetrics(0, met)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if met.GhostLead.Count() == 0 {
+		t.Fatal("ghost-lead histogram empty; sync checks were not sampled")
+	}
+	stats := s.Core(0).Stats()
+	if met.SerializeStall.Sum() != stats.SerializeStall[0]+stats.SerializeStall[1] {
+		t.Errorf("serialize-stall histogram sum %d != counter %d",
+			met.SerializeStall.Sum(), stats.SerializeStall[0]+stats.SerializeStall[1])
+	}
+	if met.MSHROccupancy.Count() == 0 {
+		t.Error("MSHR-occupancy histogram empty")
+	}
+	data, err := reg.JSON()
+	if err != nil || len(data) == 0 {
+		t.Fatalf("registry JSON failed: %v", err)
+	}
+}
+
+// TestChromeExportFromRun: a real run's trace exports to Chrome JSON
+// that passes the schema validator (the programmatic version of `make
+// trace-smoke`).
+func TestChromeExportFromRun(t *testing.T) {
+	_, _, events := traceRun(t, "camel", "ghost", false, true)
+	data, err := obs.ChromeTrace(events, "camel/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChrome(data); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+}
