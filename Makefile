@@ -1,7 +1,7 @@
 GO ?= go
 TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint bench-smoke trace-smoke ci
+.PHONY: build vet test race lint bench-smoke trace-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,16 @@ trace-smoke:
 	$(GO) run ./cmd/gttrace -workload camel -variant ghost -chrome $(TRACE_OUT)
 	$(GO) run ./cmd/gttrace -validate $(TRACE_OUT)
 
-ci: vet build race lint bench-smoke trace-smoke
+# Resilience smoke: the fault-injection differential suite (architectural
+# results bit-identical under every fault schedule, both stepping modes),
+# then a two-workload resilience sweep at profile scale with an injected
+# worker panic — the sweep must emit camel's NDJSON rows intact plus one
+# recovered panic row for hj2.
+fault-smoke:
+	$(GO) test ./internal/sim -run 'TestFault|TestBudget' -count=1
+	$(GO) run ./cmd/ghostbench -experiment resilience -scale profile \
+		-workloads camel,hj2 -panic-at hj2 -json -quiet > FAULT_resilience.json
+	@grep -q '"level":"panic"' FAULT_resilience.json
+	@grep -q '"workload":"camel".*"check_ok":true' FAULT_resilience.json
+
+ci: vet build race lint bench-smoke trace-smoke fault-smoke

@@ -8,13 +8,23 @@
 //	ghostbench -experiment fig9     # multi-core scaling (figure 9)
 //	ghostbench -experiment fig10a   # inter-thread distance, long trace
 //	ghostbench -experiment fig10b   # inter-thread distance, short window
+//	ghostbench -experiment resilience  # speedup vs fault intensity
 //
 // Use -csv or -json for machine-readable output, -workloads to restrict
 // the evaluation set, and -j N to evaluate N workloads in parallel
 // (default: one worker per CPU).
+//
+// The resilience experiment sweeps each workload's ghost variant through
+// the deterministic fault ladder (internal/fault): ghost preemption,
+// late spawns, dropped/delayed prefetches, DRAM jitter, stale sync reads,
+// and (at the top level) a ghost kill. With -json it emits one NDJSON row
+// per (workload, level) cell as it completes, so a killed sweep keeps its
+// partial results; -fault-seed reseeds the schedules and -panic-at NAME
+// crashes one worker on purpose to exercise the panic-recovery path.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +37,19 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | report")
+		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | resilience | report")
 		sweepWl    = flag.String("sweep-workload", "camel", "workload for -experiment sweep")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
-		jsonOut    = flag.Bool("json", false, "emit JSON (fig6/fig8)")
+		jsonOut    = flag.Bool("json", false, "emit JSON (fig6/fig8; NDJSON rows for resilience)")
 		gnuplot    = flag.Bool("gnuplot", false, "emit a gnuplot script (fig6/fig8)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		workSet    = flag.String("workloads", "", "comma-separated workload subset (default: the full 34)")
 		jobs       = flag.Int("j", 0, "parallel workload evaluations (0 = GOMAXPROCS)")
 		cycleStep  = flag.Bool("cyclestep", false, "force per-cycle stepping (disable event skipping; for perf comparisons)")
+		scale      = flag.String("scale", "eval", "workload input scale for -experiment resilience: eval | profile")
+		faultSeed  = flag.Uint64("fault-seed", 1, "master seed for the resilience fault schedules")
+		budget     = flag.Int64("budget", 0, "per-run cycle-budget watchdog for resilience (0 = machine default)")
+		panicAt    = flag.String("panic-at", "", "resilience: panic inside this workload's worker (tests panic recovery)")
 	)
 	flag.Parse()
 
@@ -147,6 +161,40 @@ func main() {
 		pts, err := harness.SweepSync(*sweepWl, sim.DefaultConfig())
 		check(err)
 		fmt.Print(harness.RenderSweep(*sweepWl, pts))
+
+	case "resilience":
+		rnames := names
+		if *workSet == "" {
+			// A representative ghost subset, not the full 34: the sweep
+			// runs every workload once per ladder level.
+			rnames = []string{"camel", "kangaroo", "hj2", "bfs.kron", "cc.urand"}
+		}
+		opts := harness.ResilienceOptions{
+			Levels:      harness.ResilienceLevels(*faultSeed),
+			Workers:     *jobs,
+			CycleBudget: *budget,
+			InjectPanic: *panicAt,
+		}
+		if *scale == "profile" {
+			opts.BuildOpts = workloads.ProfileOptions()
+		}
+		var sink func(harness.ResilienceRow)
+		if *jsonOut {
+			// NDJSON, one row per line, flushed as each cell completes:
+			// a killed sweep keeps every finished row.
+			enc := json.NewEncoder(os.Stdout)
+			sink = func(r harness.ResilienceRow) { check(enc.Encode(r)) }
+		} else if !*quiet {
+			sink = func(r harness.ResilienceRow) {
+				fmt.Fprintf(os.Stderr, "done %s/%s\n", r.Workload, r.Level)
+			}
+		}
+		rows, err := harness.Resilience(rnames, idleCfg, opts, sink)
+		check(err)
+		if !*jsonOut {
+			fmt.Println("Resilience: ghost-variant speedup vs deterministic fault intensity")
+			fmt.Print(harness.RenderResilience(rows))
+		}
 
 	case "report":
 		// The full evaluation as one markdown document (EXPERIMENTS.md's

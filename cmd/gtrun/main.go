@@ -5,6 +5,14 @@
 //	gtrun -workload camel -variant ghost
 //	gtrun -workload hj8 -variant swpf -busy
 //	gtrun -workload bfs.kron -variant baseline -scale profile
+//	gtrun -workload camel -variant ghost -fault seed=7,preempt=20000,plen=4000
+//
+// -fault injects a deterministic fault schedule (see internal/fault):
+// ghost preemption windows (preempt/plen), a one-shot ghost kill (kill),
+// late spawns (spawndelay), dropped/delayed prefetches (droppf,
+// delaypf/delaymax), DRAM jitter (jitter), and stale sync reads
+// (stale/stalelag). Faults perturb timing only — the result check must
+// still pass under any schedule.
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"ghostthread/internal/fault"
 	"ghostthread/internal/sim"
 	"ghostthread/internal/workloads"
 )
@@ -23,6 +32,7 @@ func main() {
 		variant  = flag.String("variant", "baseline", "baseline | swpf | smt-openmp | ghost")
 		scale    = flag.String("scale", "eval", "eval | profile")
 		busy     = flag.Bool("busy", false, "add busy-server memory bandwidth pressure")
+		faultArg = flag.String("fault", "", "fault-injection spec, e.g. seed=1,preempt=20000,plen=4000 ('off' or empty = none)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -50,6 +60,11 @@ func main() {
 	if *busy {
 		cfg = sim.BusyConfig()
 	}
+	fc, err := fault.ParseSpec(*faultArg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Fault = fc
 	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
 	if err != nil {
 		fatal(err)
@@ -75,6 +90,13 @@ func main() {
 	}
 	fmt.Printf("serializes  %d (stall %d cycles)   spawns %d   dram-lines %d\n",
 		res.Serializes, res.SerializeStall, res.Spawns, res.DRAMTransfers)
+	if cfg.Fault.Enabled() {
+		f := res.Fault
+		fmt.Printf("faults      %s\n", cfg.Fault)
+		fmt.Printf("  injected  preempt %d (%d cycles) | kills %d | spawn-delay %d cycles | pf dropped %d delayed %d | stale reads %d\n",
+			f.Preemptions, f.PreemptedCycles, f.Kills, f.SpawnDelayCycles,
+			f.DroppedPrefetches, f.DelayedPrefetches, f.StaleReads)
+	}
 	fmt.Printf("check       %s\n", status)
 	if status != "ok" {
 		os.Exit(1)

@@ -220,6 +220,23 @@ func (c *Cache) PeekReady(line int64) (readyAt int64, resident bool) {
 	return c.peekReady(line)
 }
 
+// delayReady pushes a resident line's fill-ready cycle out to at (never
+// pulling an already-later fill in). Touches nothing else — no
+// replacement, counter, or classification state.
+func (c *Cache) delayReady(line, at int64) {
+	set := line % c.sets
+	base := set * int64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if c.tags[i] == line {
+			if c.readyAt[i] < at {
+				c.readyAt[i] = at
+			}
+			return
+		}
+	}
+}
+
 // peek probes for line without touching replacement or counter state.
 // It reports residency and, when resident, whether the fill has landed.
 func (c *Cache) peek(line, now int64) (resident, filled bool) {
@@ -485,6 +502,19 @@ func (h *Hierarchy) sourceFill(line, now int64) int64 {
 	fill := h.MC.Schedule(now + h.cfg.LLCLat)
 	h.LLC.install(line, fill, now)
 	return fill
+}
+
+// DelayFill pushes the in-flight fill of addr's line out to cycle at in
+// every level where the line is resident. Fault injection uses it to model
+// a prefetch response stuck behind unmodeled traffic: a demand access that
+// merges into the fill (or an outer-level promotion sourcing it) observes
+// the delayed ready time, while tags, LRU, and prefetch-quality state are
+// untouched — the perturbation is timing-only.
+func (h *Hierarchy) DelayFill(addr, at int64) {
+	line := LineOf(addr)
+	h.L1.delayReady(line, at)
+	h.L2.delayReady(line, at)
+	h.LLC.delayReady(line, at)
 }
 
 // WouldMissL1 reports, without changing any cache state, whether an access

@@ -20,6 +20,12 @@ func TestSyncParamsValidate(t *testing.T) {
 		{SyncFreq: 16, TooFar: 5, Close: 10, SkipStep: 1, MaxBackoff: 1}, // Close >= TooFar
 		{SyncFreq: 16, TooFar: 10, Close: 5, SkipStep: 0, MaxBackoff: 1},
 		{SyncFreq: 16, TooFar: 10, Close: 5, SkipStep: 1, MaxBackoff: 0},
+		// The regression cases: Close < TooFar alone used to let these
+		// through, building ghosts that throttle from iteration 0 forever
+		// (TooFar <= 0) or can never re-arm after throttling (Close < 0).
+		{SyncFreq: 16, TooFar: 0, Close: -5, SkipStep: 1, MaxBackoff: 1},    // TooFar == 0
+		{SyncFreq: 16, TooFar: -10, Close: -20, SkipStep: 1, MaxBackoff: 1}, // TooFar < 0
+		{SyncFreq: 16, TooFar: 10, Close: -1, SkipStep: 1, MaxBackoff: 1},   // Close < 0
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -203,7 +209,7 @@ func TestDecide(t *testing.T) {
 
 func TestSyncParamsValidateProperty(t *testing.T) {
 	// Property: Validate accepts exactly the power-of-two frequencies
-	// with Close < TooFar and positive skip/backoff.
+	// with 0 <= Close < TooFar and positive skip/backoff.
 	f := func(freqExp uint8, tooFar, closeD, skip, backoff int16) bool {
 		p := SyncParams{
 			SyncFreq:   1 << (freqExp % 12),
@@ -212,7 +218,8 @@ func TestSyncParamsValidateProperty(t *testing.T) {
 			SkipStep:   int64(skip),
 			MaxBackoff: int64(backoff),
 		}
-		valid := p.SyncFreq > 0 && p.Close < p.TooFar && p.SkipStep > 0 && p.MaxBackoff > 0
+		valid := p.SyncFreq > 0 && p.TooFar > 0 && p.Close >= 0 && p.Close < p.TooFar &&
+			p.SkipStep > 0 && p.MaxBackoff > 0
 		return (p.Validate() == nil) == valid
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

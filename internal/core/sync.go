@@ -61,6 +61,18 @@ func (p SyncParams) Validate() error {
 	if p.SyncFreq <= 0 || p.SyncFreq&(p.SyncFreq-1) != 0 {
 		return fmt.Errorf("core: SyncFreq %d must be a positive power of two", p.SyncFreq)
 	}
+	if p.TooFar <= 0 {
+		// A non-positive lead threshold sets the serialize flag from
+		// iteration 0 on: the ghost throttles forever and never prefetches.
+		return fmt.Errorf("core: TooFar %d must be positive", p.TooFar)
+	}
+	if p.Close < 0 {
+		// The flag clears once the lead shrinks to Close; a negative value
+		// can never be reached (the skip path resets the lead to >= 0), so
+		// a flagged ghost would only ever leave the throttle loop through
+		// its backoff budget, never by re-arming.
+		return fmt.Errorf("core: Close %d must be non-negative", p.Close)
+	}
 	if p.Close >= p.TooFar {
 		return fmt.Errorf("core: Close (%d) must be below TooFar (%d)", p.Close, p.TooFar)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ghostthread/internal/cache"
+	"ghostthread/internal/fault"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
 	"ghostthread/internal/obs"
@@ -159,6 +160,12 @@ type Core struct {
 	id         uint8 // core id stamped into trace events
 	ghostStart int64 // spawn-dispatch cycle of the live helper (tracing)
 
+	// Fault injection (nil = off; see internal/fault). Draw points are
+	// event processing, dispatch, and issue — all of which run at the same
+	// cycles under per-cycle stepping and event skipping, so a faulted run
+	// is bit-identical across step modes.
+	fault *fault.Injector
+
 	err error
 }
 
@@ -187,6 +194,18 @@ func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
 	c.issueStarved = false
 	c.dispatchedReady = false
 	c.err = nil
+	if c.fault != nil {
+		// Seed the timing wheel with the fault triggers that need one: the
+		// first preemption window and the one-shot ghost kill. Putting them
+		// on the wheel (instead of polling) is what lets injection compose
+		// with the event-skip fast path.
+		if gap := c.fault.NextPreemptGap(); gap > 0 {
+			c.events.push(event{at: gap, kind: evFaultPreempt})
+		}
+		if at := c.fault.Config().GhostKillAt; at > 0 {
+			c.events.push(event{at: at, kind: evFaultKill})
+		}
+	}
 }
 
 // Now returns the current cycle.
@@ -440,8 +459,17 @@ func (c *Core) processEvents() {
 			return
 		}
 		e := c.events.pop()
-		if e.kind == evMSHRRelease {
+		switch e.kind {
+		case evMSHRRelease:
 			c.mshrInUse--
+			continue
+		case evFaultPreempt:
+			c.applyPreempt()
+			continue
+		case evFaultKill:
+			if c.deactivateHelper() {
+				c.fault.Stats.Kills++
+			}
 			continue
 		}
 		t := &c.threads[e.thread]
@@ -450,6 +478,66 @@ func (c *Core) processEvents() {
 		}
 		c.complete(t, e.idx)
 	}
+}
+
+// applyPreempt handles one evFaultPreempt trigger: the OS context-switches
+// the sibling SMT context away for a drawn window, so the helper fetches
+// nothing while its in-flight instructions drain. The window length and
+// the gap to the next trigger are always drawn — whether or not a helper
+// is live — so the schedule is a function of the seed alone and never
+// shifts with workload behaviour.
+func (c *Core) applyPreempt() {
+	win := c.fault.PreemptWindow()
+	gap := c.fault.NextPreemptGap()
+	h := &c.threads[1]
+	if h.active && !h.finished {
+		c.fault.Stats.Preemptions++
+		c.fault.Stats.PreemptedCycles += win
+		if bl := c.now + win; bl > h.fetchBlockedUntil {
+			h.fetchBlockedUntil = bl
+		}
+	}
+	c.events.push(event{at: c.now + win + gap, kind: evFaultPreempt})
+}
+
+// deactivateHelper kills the live helper context mid-flight — the shared
+// path of the default join and the ghost-kill fault (ghost threads modify
+// no application state, so an asynchronous kill is architecturally safe).
+// It settles the partial serialize-stall window and closes open trace
+// spans, then invalidates in-flight completions. Reports whether a helper
+// was actually live.
+func (c *Core) deactivateHelper() bool {
+	h := &c.threads[1]
+	if !h.active || h.finished {
+		return false
+	}
+	if h.serializeBlocked {
+		// The kill interrupts a serialize throttle mid-flight: account the
+		// partial stall so the counter (and the span sum) covers every
+		// throttled cycle.
+		dur := c.now - h.serStart
+		h.serializeStall += dur
+		if c.met != nil && c.met.SerializeStall != nil {
+			c.met.SerializeStall.Observe(dur)
+		}
+		if c.trace != nil && dur > 0 {
+			c.trace.Emit(obs.Event{Cycle: h.serStart, Dur: dur, Arg: int64(h.serPC),
+				Kind: obs.KindSerialize, Core: c.id, Ctx: 1})
+		}
+	}
+	if c.trace != nil {
+		if h.robStallStart >= 0 {
+			c.closeROBStall(h)
+		}
+		if dur := c.now - c.ghostStart; dur > 0 {
+			c.trace.Emit(obs.Event{Cycle: c.ghostStart, Dur: dur,
+				Kind: obs.KindGhostLife, Core: c.id, Ctx: 1})
+		}
+	}
+	h.active = false
+	h.finished = true
+	h.gen++ // invalidate its in-flight completions
+	return true
 }
 
 // complete marks entry idx done and wakes its dependents.
@@ -613,17 +701,34 @@ func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
 		if wouldMiss && c.mshrInUse >= c.cfg.MSHRs {
 			return false
 		}
-		res := c.hier.PrefetchAccess(e.addr, c.now)
-		c.PrefetchLevel[res.Level]++
-		c.Prefetches++
-		if c.trace != nil {
-			c.trace.Emit(obs.Event{Cycle: c.now, Arg: e.addr, Kind: obs.KindPrefetch,
-				Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
+		// The fate draw happens only after the structural check passed, so
+		// a hazard-blocked retry never consumes an extra draw.
+		var pfDrop bool
+		var pfDelay int64
+		if c.fault != nil {
+			pfDrop, pfDelay = c.fault.PrefetchFate()
 		}
-		if res.NewMiss {
-			c.mshrInUse++
-			c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
-			c.observeFill(t, e.addr, res)
+		if pfDrop {
+			// Dropped in the memory system: the instruction still retires
+			// (software prefetches are hints), but no fill starts.
+			c.Prefetches++
+		} else {
+			res := c.hier.PrefetchAccess(e.addr, c.now)
+			if pfDelay > 0 && res.NewMiss {
+				res.CompleteAt += pfDelay
+				c.hier.DelayFill(e.addr, res.CompleteAt)
+			}
+			c.PrefetchLevel[res.Level]++
+			c.Prefetches++
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{Cycle: c.now, Arg: e.addr, Kind: obs.KindPrefetch,
+					Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
+			}
+			if res.NewMiss {
+				c.mshrInUse++
+				c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
+				c.observeFill(t, e.addr, res)
+			}
 		}
 		completeAt = c.now + 1 // fire-and-forget: retires without the fill
 	case isa.OpStore:
@@ -783,7 +888,16 @@ func (c *Core) dispatchOne(t *thread) bool {
 			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: load at %d", t.prog.Name, t.id, t.pc, e.addr)
 			return false
 		}
-		t.regs[in.Dst] = c.mem.LoadWord(e.addr)
+		v := c.mem.LoadWord(e.addr)
+		if c.fault != nil && t.id == 1 &&
+			in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync {
+			// The ghost's sync-counter read may observe the main thread's
+			// published counter with a lag (store visibility delay). The
+			// value only steers the ghost's throttle state machine — ghosts
+			// never store — so this is timing-only.
+			v = c.fault.StaleValue(v)
+		}
+		t.regs[in.Dst] = v
 		t.lq++
 	case isa.OpStore:
 		e.addr = t.regs[in.Src1] + in.Imm
@@ -849,7 +963,11 @@ func (c *Core) dispatchOne(t *thread) bool {
 			return false
 		}
 		c.accumulate(1)
-		c.threads[1].reset(c.helpers[hid], c.cfg.ROBSize, c.now+c.cfg.SpawnCostHelper)
+		spawnDelay := int64(0)
+		if c.fault != nil {
+			spawnDelay = c.fault.SpawnDelay()
+		}
+		c.threads[1].reset(c.helpers[hid], c.cfg.ROBSize, c.now+c.cfg.SpawnCostHelper+spawnDelay)
 		// The helper inherits the spawning thread's register values (the
 		// closure the thread-start call captures); extracted ghost
 		// threads rely on this for their live-ins.
@@ -865,37 +983,7 @@ func (c *Core) dispatchOne(t *thread) bool {
 			t.fetchBlockedUntil = bl
 		}
 	case isa.OpJoin:
-		h := &c.threads[1]
-		if h.active && !h.finished {
-			if h.serializeBlocked {
-				// The kill interrupts a serialize throttle mid-flight:
-				// account the partial stall so the counter (and the span
-				// sum) covers every throttled cycle.
-				dur := c.now - h.serStart
-				h.serializeStall += dur
-				if c.met != nil && c.met.SerializeStall != nil {
-					c.met.SerializeStall.Observe(dur)
-				}
-				if c.trace != nil && dur > 0 {
-					c.trace.Emit(obs.Event{Cycle: h.serStart, Dur: dur, Arg: int64(h.serPC),
-						Kind: obs.KindSerialize, Core: c.id, Ctx: 1})
-				}
-			}
-			if c.trace != nil {
-				if h.robStallStart >= 0 {
-					c.closeROBStall(h)
-				}
-				if dur := c.now - c.ghostStart; dur > 0 {
-					c.trace.Emit(obs.Event{Cycle: c.ghostStart, Dur: dur,
-						Kind: obs.KindGhostLife, Core: c.id, Ctx: 1})
-				}
-			}
-			// Deactivate: the helper is killed mid-flight (ghost threads
-			// modify no application state, so this is safe).
-			h.active = false
-			h.finished = true
-			h.gen++ // invalidate its in-flight completions
-		}
+		c.deactivateHelper()
 		if c.trace != nil {
 			c.trace.Emit(obs.Event{Cycle: c.now, Kind: obs.KindGhostJoin,
 				Core: c.id, Ctx: uint8(t.id)})
@@ -1033,6 +1121,19 @@ func (c *Core) Trace() *obs.Recorder { return c.trace }
 
 // SetMetrics attaches (or with nil detaches) histogram hooks.
 func (c *Core) SetMetrics(m *obs.CoreMetrics) { c.met = m }
+
+// SetFault attaches (or with nil detaches) a fault injector. Attach
+// before Load: Load schedules the injector's timing-wheel triggers.
+func (c *Core) SetFault(inj *fault.Injector) { c.fault = inj }
+
+// FaultStats returns the counters of faults actually injected so far
+// (zero when no injector is attached).
+func (c *Core) FaultStats() fault.Stats {
+	if c.fault == nil {
+		return fault.Stats{}
+	}
+	return c.fault.Stats
+}
 
 // PCProfile returns per-static-instruction (stall cycles, executions) for
 // context id's current program. The slices alias internal state; callers

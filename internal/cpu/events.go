@@ -2,8 +2,10 @@ package cpu
 
 // event kinds processed by the core's timing wheel.
 const (
-	evComplete    = iota // an in-flight instruction finishes execution
-	evMSHRRelease        // an outstanding L1 miss fill arrives; free the MSHR
+	evComplete     = iota // an in-flight instruction finishes execution
+	evMSHRRelease         // an outstanding L1 miss fill arrives; free the MSHR
+	evFaultPreempt        // a ghost-preemption window begins (internal/fault)
+	evFaultKill           // the one-shot ghost-kill fault fires
 )
 
 type event struct {

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42, SaltPreempt, 0)
+	b := NewStream(42, SaltPreempt, 0)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: same (seed, salt, core) diverged: %#x vs %#x", i, x, y)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	base := NewStream(42, SaltPreempt, 0)
+	variants := map[string]Stream{
+		"different salt": NewStream(42, SaltSpawn, 0),
+		"different core": NewStream(42, SaltPreempt, 1),
+		"different seed": NewStream(43, SaltPreempt, 0),
+	}
+	for name, v := range variants {
+		b, w := base, v
+		same := 0
+		for i := 0; i < 64; i++ {
+			if b.Next() == w.Next() {
+				same++
+			}
+		}
+		// Collisions are astronomically unlikely; any overlap means the
+		// derivation failed to decorrelate.
+		if same > 0 {
+			t.Errorf("%s: %d/64 draws collided with the base stream", name, same)
+		}
+	}
+}
+
+func TestStreamIntn(t *testing.T) {
+	s := NewStream(7, SaltMem, 0)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+	if v := s.Intn(0); v != 0 {
+		t.Errorf("Intn(0) = %d, want 0", v)
+	}
+	if v := s.Intn(-5); v != 0 {
+		t.Errorf("Intn(-5) = %d, want 0", v)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"off",
+		"seed=7,preempt=20000,plen=4000",
+		"seed=1,kill=150000",
+		"seed=3,spawndelay=5000,jitter=80",
+		"seed=9,droppf=50,delaypf=100,delaymax=200,stale=300,stalelag=4",
+	}
+	for _, spec := range specs {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		rendered := c.String()
+		c2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(String(%q) = %q): %v", spec, rendered, err)
+		}
+		if c != c2 {
+			t.Errorf("round trip of %q changed config: %+v vs %+v", spec, c, c2)
+		}
+	}
+}
+
+func TestParseSpecDisabledForms(t *testing.T) {
+	for _, spec := range []string{"", "off", "  ", " off "} {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if c.Enabled() {
+			t.Errorf("ParseSpec(%q) enabled faults: %+v", spec, c)
+		}
+		if c != (Config{}) {
+			t.Errorf("ParseSpec(%q) = %+v, want zero", spec, c)
+		}
+	}
+	if (Config{}).String() != "off" {
+		t.Errorf("zero Config renders as %q, want off", (Config{}).String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"bogus=1", "unknown spec key"},
+		{"preempt", "not key=value"},
+		{"preempt=abc", "bad value"},
+		{"seed=nope", "bad seed"},
+		{"preempt=20000", "PreemptLen"},           // interval without a window length
+		{"seed=1,droppf=1200", "per-mille"},       // out of [0,1000]
+		{"droppf=600,delaypf=600", "exceed 1000"}, // fates must partition
+		{"delaypf=100", "DelayPrefetchMax"},       // delay without a max
+		{"stale=100", "StaleSyncLag"},             // stale without a lag
+		{"preempt=-5,plen=10", "non-negative"},    // negative field
+		{"seed=1,jitter=-1", "non-negative"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q) = %v, want error mentioning %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestInjectorDisabledDraws(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1}, 0)
+	if g := inj.NextPreemptGap(); g != -1 {
+		t.Errorf("NextPreemptGap with preemption off = %d, want -1", g)
+	}
+	if d := inj.SpawnDelay(); d != 0 {
+		t.Errorf("SpawnDelay with delays off = %d, want 0", d)
+	}
+	if drop, delay := inj.PrefetchFate(); drop || delay != 0 {
+		t.Errorf("PrefetchFate with faults off = (%v, %d), want (false, 0)", drop, delay)
+	}
+	if v := inj.StaleValue(17); v != 17 {
+		t.Errorf("StaleValue with staleness off = %d, want pass-through 17", v)
+	}
+	if !inj.Stats.Zero() {
+		t.Errorf("disabled injector accumulated stats: %+v", inj.Stats)
+	}
+}
+
+func TestInjectorPreemptDraws(t *testing.T) {
+	cfg := Config{Seed: 5, PreemptInterval: 100, PreemptLen: 10}
+	inj := NewInjector(cfg, 0)
+	for i := 0; i < 500; i++ {
+		if g := inj.NextPreemptGap(); g < 1 || g > 2*cfg.PreemptInterval {
+			t.Fatalf("gap %d outside [1, %d]", g, 2*cfg.PreemptInterval)
+		}
+		if w := inj.PreemptWindow(); w < 1 || w > 2*cfg.PreemptLen {
+			t.Fatalf("window %d outside [1, %d]", w, 2*cfg.PreemptLen)
+		}
+	}
+}
+
+func TestInjectorPrefetchFatePartition(t *testing.T) {
+	cfg := Config{Seed: 11, DropPrefetchPerMille: 300, DelayPrefetchPerMille: 300, DelayPrefetchMax: 50}
+	inj := NewInjector(cfg, 0)
+	const n = 10_000
+	var drops, delays int
+	for i := 0; i < n; i++ {
+		drop, delay := inj.PrefetchFate()
+		if drop && delay != 0 {
+			t.Fatal("a prefetch was both dropped and delayed")
+		}
+		if drop {
+			drops++
+		}
+		if delay > 0 {
+			if delay > cfg.DelayPrefetchMax {
+				t.Fatalf("delay %d exceeds max %d", delay, cfg.DelayPrefetchMax)
+			}
+			delays++
+		}
+	}
+	// 300‰ each; allow a generous band around the expectation of 3000.
+	for name, got := range map[string]int{"drops": drops, "delays": delays} {
+		if got < 2500 || got > 3500 {
+			t.Errorf("%s = %d of %d, want ~3000", name, got, n)
+		}
+	}
+	if inj.Stats.DroppedPrefetches != int64(drops) || inj.Stats.DelayedPrefetches != int64(delays) {
+		t.Errorf("stats (%d, %d) disagree with observed (%d, %d)",
+			inj.Stats.DroppedPrefetches, inj.Stats.DelayedPrefetches, drops, delays)
+	}
+}
+
+func TestInjectorStaleValue(t *testing.T) {
+	cfg := Config{Seed: 13, StaleSyncPerMille: 1000, StaleSyncLag: 5}
+	inj := NewInjector(cfg, 0)
+	for i := 0; i < 1000; i++ {
+		v := inj.StaleValue(100)
+		if v >= 100 || v < 100-cfg.StaleSyncLag {
+			t.Fatalf("StaleValue(100) = %d outside [%d, 99]", v, 100-cfg.StaleSyncLag)
+		}
+	}
+	// Clamped at the counter's initial value: never goes negative.
+	for i := 0; i < 1000; i++ {
+		if v := inj.StaleValue(0); v != 0 {
+			t.Fatalf("StaleValue(0) = %d, want clamp at 0", v)
+		}
+	}
+	if inj.Stats.StaleReads != 2000 {
+		t.Errorf("StaleReads = %d, want 2000", inj.Stats.StaleReads)
+	}
+}
+
+func TestInjectorReplay(t *testing.T) {
+	cfg := Config{
+		Seed: 21, PreemptInterval: 50, PreemptLen: 5, SpawnDelayMax: 100,
+		DropPrefetchPerMille: 100, DelayPrefetchPerMille: 100, DelayPrefetchMax: 30,
+		StaleSyncPerMille: 200, StaleSyncLag: 3,
+	}
+	a, b := NewInjector(cfg, 2), NewInjector(cfg, 2)
+	for i := 0; i < 200; i++ {
+		if a.NextPreemptGap() != b.NextPreemptGap() || a.PreemptWindow() != b.PreemptWindow() ||
+			a.SpawnDelay() != b.SpawnDelay() {
+			t.Fatalf("draw %d: timing draws diverged", i)
+		}
+		ad, adel := a.PrefetchFate()
+		bd, bdel := b.PrefetchFate()
+		if ad != bd || adel != bdel {
+			t.Fatalf("draw %d: prefetch fates diverged", i)
+		}
+		if a.StaleValue(int64(i)) != b.StaleValue(int64(i)) {
+			t.Fatalf("draw %d: stale values diverged", i)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("replayed injectors report different stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestStatsAddZero(t *testing.T) {
+	var s Stats
+	if !s.Zero() {
+		t.Error("zero Stats not Zero")
+	}
+	s.Add(Stats{Preemptions: 2, PreemptedCycles: 50, Kills: 1})
+	s.Add(Stats{Preemptions: 1, DroppedPrefetches: 3, StaleReads: 4, SpawnDelayCycles: 9, DelayedPrefetches: 5})
+	want := Stats{Preemptions: 3, PreemptedCycles: 50, Kills: 1,
+		SpawnDelayCycles: 9, DroppedPrefetches: 3, DelayedPrefetches: 5, StaleReads: 4}
+	if s != want {
+		t.Errorf("Add = %+v, want %+v", s, want)
+	}
+	if s.Zero() {
+		t.Error("non-zero Stats reported Zero")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"ghostthread/internal/core"
 	"ghostthread/internal/cpu"
 	"ghostthread/internal/energy"
+	"ghostthread/internal/fault"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
 	"ghostthread/internal/profile"
@@ -68,15 +70,22 @@ type Row struct {
 // profile. sim.Config itself is not comparable (Sampler is a func), so
 // the comparable fields are copied out; configs with a Sampler bypass the
 // cache entirely.
+// Every comparable sim.Config field must appear here — a missing field
+// silently poisons the memo with stale hits across configs that differ
+// only in that field. TestProfKeyCoversSimConfig enforces this by
+// reflection: it fails the moment sim.Config grows a comparable field
+// with no counterpart below.
 type profKey struct {
-	workload  string
-	cores     int
-	cpu       cpu.Config
-	hier      cache.HierarchyConfig
-	llc       cache.Config
-	memCtl    mem.ControllerConfig
-	maxCycles int64
-	cycleStep bool
+	workload    string
+	cores       int
+	cpu         cpu.Config
+	hier        cache.HierarchyConfig
+	llc         cache.Config
+	memCtl      mem.ControllerConfig
+	maxCycles   int64
+	sampleEvery int64
+	cycleStep   bool
+	fault       fault.Config
 }
 
 type profEntry struct {
@@ -106,14 +115,16 @@ func profileWorkload(workload string, build workloads.Builder, cfg sim.Config) (
 		return runProfile(workload, build, cfg)
 	}
 	key := profKey{
-		workload:  workload,
-		cores:     cfg.Cores,
-		cpu:       cfg.CPU,
-		hier:      cfg.Hier,
-		llc:       cfg.LLC,
-		memCtl:    cfg.MemCtl,
-		maxCycles: cfg.MaxCycles,
-		cycleStep: cfg.CycleStep,
+		workload:    workload,
+		cores:       cfg.Cores,
+		cpu:         cfg.CPU,
+		hier:        cfg.Hier,
+		llc:         cfg.LLC,
+		memCtl:      cfg.MemCtl,
+		maxCycles:   cfg.MaxCycles,
+		sampleEvery: cfg.SampleEvery,
+		cycleStep:   cfg.CycleStep,
+		fault:       cfg.Fault,
 	}
 	profMu.Lock()
 	e := profCache[key]
@@ -137,6 +148,39 @@ func runProfile(workload string, build workloads.Builder, cfg sim.Config) (*prof
 		return nil, fmt.Errorf("harness: profiling run of %s corrupted results: %w", workload, err)
 	}
 	return rep, nil
+}
+
+// PanicError wraps a panic recovered from one workload's evaluation, so a
+// crashing workload surfaces as an error carrying the workload name and
+// the goroutine stack instead of killing the whole sweep.
+type PanicError struct {
+	Workload string
+	Value    any    // the recovered panic value
+	Stack    []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("harness: %s: panic: %v\n%s", e.Workload, e.Value, e.Stack)
+}
+
+// testPanicHook, when non-nil, runs at the top of every safeEval call.
+// The recovery tests use it to crash a chosen workload's evaluation.
+var testPanicHook func(workload string)
+
+// safeEval is Eval with per-task panic recovery: a panic anywhere in the
+// pipeline (workload builder, simulator, result check) becomes a
+// *PanicError instead of tearing down the process.
+func safeEval(workload string, cfg sim.Config, hp core.HeuristicParams) (row *Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			row = nil
+			err = &PanicError{Workload: workload, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if testPanicHook != nil {
+		testPanicHook(workload)
+	}
+	return Eval(workload, cfg, hp)
 }
 
 // Eval runs the full single-core evaluation pipeline for one workload:
@@ -323,7 +367,10 @@ func RunMatrix(names []string, machine string, cfg sim.Config, progress func(str
 // each Eval builds its own memory image and simulator instances, and the
 // only shared mutable state is the profile memo (single-flight) — so
 // rows are bit-identical to a serial run and returned in input order.
-// On error, the first failure in input order is reported. The progress
+// On error, the first failure in input order is reported; a panic inside
+// one workload's evaluation is recovered into that workload's error slot
+// as a *PanicError (name + stack attached) and never kills the pool — the
+// other workloads still complete. The progress
 // callback is serialized but fires in completion-start order, which
 // under concurrency is not the input order.
 func RunMatrixWorkers(names []string, machine string, cfg sim.Config, workers int, progress func(string)) (*Matrix, error) {
@@ -349,7 +396,7 @@ func RunMatrixWorkers(names []string, machine string, cfg sim.Config, workers in
 					progress(names[i])
 					progressMu.Unlock()
 				}
-				rows[i], errs[i] = Eval(names[i], cfg, core.DefaultHeuristicParams())
+				rows[i], errs[i] = safeEval(names[i], cfg, core.DefaultHeuristicParams())
 			}
 		}()
 	}

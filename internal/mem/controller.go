@@ -1,5 +1,7 @@
 package mem
 
+import "ghostthread/internal/fault"
+
 // ControllerConfig parameterises the DRAM timing model.
 type ControllerConfig struct {
 	// AccessLatency is the unloaded DRAM access latency in cycles
@@ -34,6 +36,14 @@ type Controller struct {
 	nextFree      int64 // earliest cycle the channel can start a transfer
 	pressureAcct  int64 // cycle up to which pressure traffic is accounted
 	pressureCarry int64 // fractional pressure lines carried between requests (x1000)
+
+	// Latency jitter fault injection (jitterMax == 0 = off). The stream
+	// draws once per scheduled transfer — inside Schedule, the only place
+	// controller state may change — so jitter composes with event skipping
+	// and with the pressure-token catch-up constraint (see NextFree).
+	jitterMax int64
+	jitter    fault.Stream
+	jitter0   fault.Stream // snapshot restored by Reset
 
 	// Transfers counts demand line transfers (for bandwidth stats and
 	// the energy model).
@@ -76,7 +86,21 @@ func (c *Controller) Schedule(now int64) int64 {
 	start := max(now, c.nextFree)
 	c.nextFree = start + c.cfg.CyclesPerLine
 	c.Transfers++
-	return start + c.cfg.AccessLatency
+	lat := c.cfg.AccessLatency
+	if c.jitterMax > 0 {
+		lat += c.jitter.Intn(c.jitterMax + 1)
+	}
+	return start + lat
+}
+
+// SetJitter enables (max > 0) uniform [0, max] extra cycles on every
+// transfer's access latency, drawn from s — row-buffer state, refresh, and
+// scheduling noise the fixed-latency model abstracts away. The stream is
+// snapshotted so Reset re-arms the identical jitter schedule.
+func (c *Controller) SetJitter(max int64, s fault.Stream) {
+	c.jitterMax = max
+	c.jitter = s
+	c.jitter0 = s
 }
 
 // NextFree returns the earliest cycle at which the channel can start
@@ -91,10 +115,13 @@ func (c *Controller) Schedule(now int64) int64 {
 // catch-up calls on the skip path.
 func (c *Controller) NextFree() int64 { return c.nextFree }
 
-// Reset clears timing state but keeps the configuration.
+// Reset clears timing state but keeps the configuration; the jitter
+// stream rewinds to its SetJitter snapshot so a reset run replays the
+// same schedule.
 func (c *Controller) Reset() {
 	c.nextFree = 0
 	c.pressureAcct = 0
 	c.pressureCarry = 0
 	c.Transfers = 0
+	c.jitter = c.jitter0
 }

@@ -92,6 +92,64 @@ func TestHistogramEmptyMean(t *testing.T) {
 	}
 }
 
+func TestHistogramOverflowOnly(t *testing.T) {
+	// Every observation above the last bound: only the overflow bucket
+	// fills, and the aggregates still track the real values.
+	h := NewHistogram("x", []int64{10, 20})
+	for _, v := range []int64{21, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	if b[0].Count != 0 || b[1].Count != 0 || b[2].Count != 3 {
+		t.Fatalf("bucket counts = %d/%d/%d, want 0/0/3", b[0].Count, b[1].Count, b[2].Count)
+	}
+	if h.min != 21 || h.max != 1<<40 {
+		t.Fatalf("min/max = %d/%d, want 21/%d", h.min, h.max, int64(1)<<40)
+	}
+}
+
+func TestHistogramFirstObservationNegative(t *testing.T) {
+	// Regression guard for the classic zero-initialised min/max bug: a
+	// first (and only) negative observation must set BOTH min and max to
+	// it, not leave max at 0.
+	h := NewHistogram("x", []int64{10})
+	h.Observe(-7)
+	if h.min != -7 || h.max != -7 {
+		t.Fatalf("min/max after first negative observation = %d/%d, want -7/-7", h.min, h.max)
+	}
+	if b := h.Buckets(); b[0].Count != 1 {
+		t.Fatalf("-7 not counted in the <=10 bucket: %+v", b)
+	}
+	h.Observe(-20)
+	if h.min != -20 || h.max != -7 {
+		t.Fatalf("min/max = %d/%d, want -20/-7", h.min, h.max)
+	}
+}
+
+func TestRegistryJSONEmptyHistogramMinMax(t *testing.T) {
+	// An empty histogram must serialize min/max as 0, not as stale field
+	// state.
+	r := NewRegistry()
+	r.Histogram("empty", []int64{1})
+	js, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Histograms []struct {
+			Name string `json:"name"`
+			Min  int64  `json:"min"`
+			Max  int64  `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(js, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Histograms) != 1 || out.Histograms[0].Min != 0 || out.Histograms[0].Max != 0 {
+		t.Fatalf("empty histogram serialized as %+v, want min=0 max=0", out.Histograms)
+	}
+}
+
 func TestHistogramRejectsUnsortedBounds(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,261 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ghostthread/internal/fault"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+// faultSchedules is the differential suite's schedule matrix: each kind
+// alone, then everything at once, at rates high enough to fire many
+// times per run at profile scale.
+func faultSchedules() []fault.Config {
+	return []fault.Config{
+		{Seed: 7, PreemptInterval: 10_000, PreemptLen: 2_000},
+		{Seed: 7, GhostKillAt: 40_000},
+		{Seed: 7, SpawnDelayMax: 5_000},
+		{Seed: 7, DropPrefetchPerMille: 200, DelayPrefetchPerMille: 300, DelayPrefetchMax: 400},
+		{Seed: 7, MemJitterMax: 150},
+		{Seed: 7, StaleSyncPerMille: 400, StaleSyncLag: 4},
+		combinedSchedule(),
+	}
+}
+
+// combinedSchedule enables every fault kind at once.
+func combinedSchedule() fault.Config {
+	return fault.Config{
+		Seed: 11, PreemptInterval: 8_000, PreemptLen: 3_000, SpawnDelayMax: 6_000,
+		DropPrefetchPerMille: 150, DelayPrefetchPerMille: 250, DelayPrefetchMax: 300,
+		MemJitterMax: 120, StaleSyncPerMille: 300, StaleSyncLag: 3,
+	}
+}
+
+// shortSchedules is the reduced matrix the slower workloads run — a
+// ghost-only kind, a machine-wide kind that also hits the baseline, and
+// everything combined. The full per-kind matrix runs on camel, the
+// cheapest workload; repeating all seven per-kind schedules on every
+// workload would put the race-detector CI run past its time budget
+// without adding kind coverage.
+func shortSchedules() []fault.Config {
+	return []fault.Config{
+		{Seed: 7, PreemptInterval: 10_000, PreemptLen: 2_000},
+		{Seed: 7, MemJitterMax: 150},
+		combinedSchedule(),
+	}
+}
+
+// snapshot copies the full memory image.
+func snapshot(m *mem.Memory) []int64 {
+	return append([]int64(nil), m.Slice(0, m.Size())...)
+}
+
+// runSingle builds a fresh instance of workload/variant and runs it under
+// cfg, returning the Result and the final memory image.
+func runSingle(t *testing.T, workload, variant string, cfg sim.Config) (sim.Result, []int64) {
+	t.Helper()
+	build, err := workloads.Lookup(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := build(workloads.ProfileOptions())
+	v := inst.VariantByName(variant)
+	if v == nil {
+		t.Fatalf("%s has no %s variant", workload, variant)
+	}
+	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
+	if err != nil {
+		t.Fatalf("%s/%s (fault %s, CycleStep=%v): %v", workload, variant, cfg.Fault, cfg.CycleStep, err)
+	}
+	if err := inst.CheckFor(variant)(inst.Mem); err != nil {
+		t.Fatalf("%s/%s (fault %s, CycleStep=%v): result check: %v", workload, variant, cfg.Fault, cfg.CycleStep, err)
+	}
+	return res, snapshot(inst.Mem)
+}
+
+// runMulti builds a fresh 2-core MultiGhost instance of kernel/graph and
+// runs it under cfg (Cores is overridden to match the instance).
+func runMulti(t *testing.T, kernel, graph string, cfg sim.Config) (sim.Result, []int64) {
+	t.Helper()
+	inst, err := workloads.NewMulti(kernel, graph, 2, workloads.MultiGhost, workloads.ProfileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cores = inst.Cores
+	s := sim.New(cfg, inst.Mem)
+	for i := 0; i < inst.Cores; i++ {
+		s.Load(i, inst.Per[i].Main, inst.Per[i].Helpers)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s (fault %s, CycleStep=%v): %v", inst.Name, cfg.Fault, cfg.CycleStep, err)
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		t.Fatalf("%s (fault %s, CycleStep=%v): result check: %v", inst.Name, cfg.Fault, cfg.CycleStep, err)
+	}
+	return res, snapshot(inst.Mem)
+}
+
+// TestFaultArchitecturalInvariance is the tentpole differential suite:
+// for ghost workloads (including one multi-core build), every fault
+// schedule must leave the final memory image and the main thread's
+// architectural progress bit-identical to the fault-free run, in both
+// the event-skip and per-cycle execution modes. Faults move cycles
+// around; they never change what is computed.
+//
+// The multi-core case uses PageRank, the multi-core kernel whose output
+// is deterministic for every technique (multi-core BFS tolerates benign
+// races — parent choice and frontier order legitimately vary with
+// timing, so its image is not a fixed point to compare against). Its
+// main threads spin in barriers, so the committed-instruction count is
+// timing-elastic by design; the architectural record there is the full
+// memory image (every word any core wrote, including the checksum the
+// master publishes) plus the total store count, and those must match
+// exactly.
+func TestFaultArchitecturalInvariance(t *testing.T) {
+	type runner func(t *testing.T, cfg sim.Config) (sim.Result, []int64)
+	cases := []struct {
+		name        string
+		run         runner
+		schedules   []fault.Config
+		compareMain bool // single thread of control: MainCommitted is exact
+	}{
+		{"camel/ghost", func(t *testing.T, cfg sim.Config) (sim.Result, []int64) {
+			return runSingle(t, "camel", "ghost", cfg)
+		}, faultSchedules(), true},
+		{"hj8/ghost", func(t *testing.T, cfg sim.Config) (sim.Result, []int64) {
+			return runSingle(t, "hj8", "ghost", cfg)
+		}, shortSchedules(), true},
+		{"bfs.kron/ghost", func(t *testing.T, cfg sim.Config) (sim.Result, []int64) {
+			return runSingle(t, "bfs.kron", "ghost", cfg)
+		}, shortSchedules(), true},
+		{"pr.kron/multi-ghost-2c", func(t *testing.T, cfg sim.Config) (sim.Result, []int64) {
+			return runMulti(t, "pr", "kron", cfg)
+		}, shortSchedules(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cleanRes, cleanMem := tc.run(t, sim.DefaultConfig())
+			for _, fc := range tc.schedules {
+				for _, cycleStep := range []bool{false, true} {
+					cfg := sim.DefaultConfig()
+					cfg.Fault = fc
+					cfg.CycleStep = cycleStep
+					res, image := tc.run(t, cfg)
+					if tc.compareMain && res.MainCommitted != cleanRes.MainCommitted {
+						t.Errorf("fault %s (CycleStep=%v): MainCommitted %d, fault-free %d",
+							fc, cycleStep, res.MainCommitted, cleanRes.MainCommitted)
+					}
+					if res.Stores != cleanRes.Stores {
+						t.Errorf("fault %s (CycleStep=%v): Stores %d, fault-free %d",
+							fc, cycleStep, res.Stores, cleanRes.Stores)
+					}
+					if !reflect.DeepEqual(image, cleanMem) {
+						t.Errorf("fault %s (CycleStep=%v): final memory image diverged from fault-free run",
+							fc, cycleStep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFaultSkipEquivalence extends the event-skip equivalence bar to
+// faulted runs: with injection on, the full Result (cycles, cache
+// counters, fault stats, everything) must stay bit-identical between the
+// per-cycle reference loop and the event-skip fast path. This is the
+// proof that fault events compose with skipping.
+func TestFaultSkipEquivalence(t *testing.T) {
+	// camel sweeps every per-kind schedule; the slower pairs prove the
+	// property holds across workload shapes on the all-kinds schedule.
+	cases := []struct {
+		workload, variant string
+		schedules         []fault.Config
+	}{
+		{"camel", "ghost", faultSchedules()},
+		{"camel", "swpf", []fault.Config{combinedSchedule()}}, // prefetch faults without a helper context
+		{"hj8", "ghost", []fault.Config{combinedSchedule()}},
+		{"bfs.kron", "ghost", []fault.Config{combinedSchedule()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workload+"/"+tc.variant, func(t *testing.T) {
+			for _, fc := range tc.schedules {
+				cfg := sim.DefaultConfig()
+				cfg.Fault = fc
+				ref, opt := runBoth(t, tc.workload, tc.variant, cfg)
+				assertEqualResults(t, tc.workload, tc.variant, ref, opt)
+			}
+		})
+	}
+}
+
+// TestFaultReplayDeterminism proves a seeded schedule replays exactly:
+// two runs of the same (workload, fault config) produce DeepEqual
+// Results, and a different seed produces a different timing outcome.
+func TestFaultReplayDeterminism(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Fault = fault.Config{
+		Seed: 99, PreemptInterval: 9_000, PreemptLen: 2_500, SpawnDelayMax: 4_000,
+		DropPrefetchPerMille: 100, DelayPrefetchPerMille: 200, DelayPrefetchMax: 250,
+		MemJitterMax: 100, StaleSyncPerMille: 250, StaleSyncLag: 3,
+	}
+	first, _ := runSingle(t, "camel", "ghost", cfg)
+	second, _ := runSingle(t, "camel", "ghost", cfg)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("seeded fault schedule did not replay:\n 1st: %+v\n 2nd: %+v", first, second)
+	}
+	if first.Fault.Zero() {
+		t.Error("fault schedule injected nothing; the replay test is vacuous")
+	}
+	reseeded := cfg
+	reseeded.Fault.Seed = 100
+	other, _ := runSingle(t, "camel", "ghost", reseeded)
+	if other.Cycles == first.Cycles && reflect.DeepEqual(other.Fault, first.Fault) {
+		t.Error("different seed produced an identical schedule (streams not seed-derived?)")
+	}
+}
+
+// TestFaultGhostKill checks the one-shot kill: the helper dies at the
+// configured cycle exactly as a join would, the kill is counted once,
+// and the main thread still finishes with a correct result.
+func TestFaultGhostKill(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Fault = fault.Config{Seed: 1, GhostKillAt: 40_000}
+	res, _ := runSingle(t, "camel", "ghost", cfg)
+	if res.Fault.Kills != 1 {
+		t.Errorf("Kills = %d, want 1", res.Fault.Kills)
+	}
+	clean, _ := runSingle(t, "camel", "ghost", sim.DefaultConfig())
+	if res.Cycles < clean.Cycles {
+		t.Errorf("killed-ghost run finished in %d cycles, faster than the intact run's %d",
+			res.Cycles, clean.Cycles)
+	}
+}
+
+// TestBudgetError checks the typed cycle-budget watchdog.
+func TestBudgetError(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles = 1_000
+	build, err := workloads.Lookup("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := build(workloads.ProfileOptions())
+	v := inst.VariantByName("baseline")
+	_, err = sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *sim.BudgetError", err)
+	}
+	if be.Limit != cfg.MaxCycles {
+		t.Errorf("BudgetError.Limit = %d, want %d", be.Limit, cfg.MaxCycles)
+	}
+	if want := fmt.Sprintf("sim: exceeded cycle budget of %d cycles", cfg.MaxCycles); be.Error() != want {
+		t.Errorf("BudgetError.Error() = %q, want %q", be.Error(), want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"ghostthread/internal/cache"
 	"ghostthread/internal/cpu"
+	"ghostthread/internal/fault"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
 	"ghostthread/internal/obs"
@@ -37,6 +38,12 @@ type Config struct {
 	// equivalence tests prove it); this exists so they can keep proving
 	// it, and as an escape hatch when bisecting simulator changes.
 	CycleStep bool
+
+	// Fault selects deterministic fault injection (see internal/fault).
+	// The zero value disables it. Faults perturb timing only: the final
+	// memory image and main-thread architectural state are bit-identical
+	// to the fault-free run (sim's differential suite proves it).
+	Fault fault.Config
 }
 
 // DefaultConfig returns the single-core idle-server machine.
@@ -95,6 +102,16 @@ func New(cfg Config, m *mem.Memory) *System {
 		s.cores[i] = cpu.New(cfg.CPU, h, m)
 		s.finishAt[i] = -1 // -1 = not finished; 0 is a valid finish cycle
 	}
+	if cfg.Fault.Enabled() {
+		// Each core gets its own injector (independent per-core schedules);
+		// the shared memory controller draws jitter from its own stream.
+		for i, c := range s.cores {
+			c.SetFault(fault.NewInjector(cfg.Fault, i))
+		}
+		if cfg.Fault.MemJitterMax > 0 {
+			s.mc.SetJitter(cfg.Fault.MemJitterMax, fault.NewStream(cfg.Fault.Seed, fault.SaltMem, 0))
+		}
+	}
 	return s
 }
 
@@ -146,6 +163,10 @@ type Result struct {
 	// Prefetch classifies the software prefetches by outcome, summed over
 	// cores (see cache.PrefetchQuality for the taxonomy).
 	Prefetch cache.PrefetchQuality
+
+	// Fault counts the faults actually injected, summed over cores (zero
+	// when injection is off; see fault.Stats).
+	Fault fault.Stats
 }
 
 // PrefetchAccuracy is the fraction of executed software prefetches a
@@ -166,6 +187,17 @@ func (r *Result) PrefetchCoverage() float64 {
 		return 0
 	}
 	return float64(useful) / float64(useful+missed)
+}
+
+// BudgetError reports that a run exceeded its Config.MaxCycles cycle
+// budget. The harness watchdog matches it with errors.As so a runaway
+// workload becomes a typed timeout row instead of an opaque failure.
+type BudgetError struct {
+	Limit int64 // the MaxCycles budget that was exhausted
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: exceeded cycle budget of %d cycles", e.Limit)
 }
 
 // Run simulates until every core is done, returning aggregate statistics.
@@ -194,7 +226,7 @@ func (s *System) Run() (Result, error) {
 			break
 		}
 		if s.now >= s.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded %d cycles", s.cfg.MaxCycles)
+			return Result{}, &BudgetError{Limit: s.cfg.MaxCycles}
 		}
 		if !s.cfg.CycleStep {
 			s.skipAhead(sampleAt)
@@ -226,6 +258,7 @@ func (s *System) Run() (Result, error) {
 			res.LoadLevel[l] += c.LoadLevel[l]
 			res.PrefetchLevel[l] += c.PrefetchLevel[l]
 		}
+		res.Fault.Add(c.FaultStats())
 	}
 	res.MainCommitted = s.cores[0].Committed(0)
 	for _, c := range s.cores {
