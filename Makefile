@@ -1,7 +1,7 @@
 GO ?= go
 TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint bench-smoke trace-smoke fault-smoke ci
+.PHONY: build vet test race lint detlint advise-smoke bench-smoke trace-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,21 @@ race:
 # verifier battery (exit 1 on any error-severity finding).
 lint:
 	$(GO) run ./cmd/gtlint -all
+
+# Determinism lint: the timing-critical simulator packages must not read
+# the wall clock, draw from the global rand source, or iterate maps in
+# timing-relevant code (exit 1 on findings).
+detlint:
+	$(GO) run ./cmd/detlint
+
+# Advice smoke: the static advisor's full-registry JSON (stride classes,
+# cost-model scores, recommendations) diffed against the checked-in
+# golden. Drift means the taxonomy or cost model changed behavior — fix
+# it, or review the new output and re-bless it with
+#   go run ./cmd/gtadvise -all -json > testdata/advise_golden.json
+advise-smoke:
+	$(GO) run ./cmd/gtadvise -all -json > ADVISE_all.json
+	diff -u testdata/advise_golden.json ADVISE_all.json
 
 # Perf smoke: figure 3 plus a 4-workload figure-6 slice with throughput
 # metrics, so simulator-speed regressions surface in tier-1. The JSON
@@ -48,4 +63,4 @@ fault-smoke:
 	@grep -q '"level":"panic"' FAULT_resilience.json
 	@grep -q '"workload":"camel".*"check_ok":true' FAULT_resilience.json
 
-ci: vet build race lint bench-smoke trace-smoke fault-smoke
+ci: vet build race lint detlint advise-smoke bench-smoke trace-smoke fault-smoke

@@ -1,0 +1,48 @@
+// Command detlint runs the determinism lint (internal/detlint) over the
+// timing-critical simulator packages, or over the directories given as
+// arguments.
+//
+//	detlint [dir ...]
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a usage
+// or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostthread/internal/detlint"
+)
+
+// defaultDirs are the packages whose behavior feeds simulated timing:
+// any nondeterminism here breaks replayable experiments.
+var defaultDirs = []string{
+	"internal/sim", "internal/cpu", "internal/cache", "internal/fault",
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	findings, err := detlint.Dirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d findings\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@
 //	ghostbench -experiment fig10a   # inter-thread distance, long trace
 //	ghostbench -experiment fig10b   # inter-thread distance, short window
 //	ghostbench -experiment resilience  # speedup vs fault intensity
+//	ghostbench -experiment advise   # static advice vs measured ghost speedup
 //
 // Use -csv or -json for machine-readable output, -workloads to restrict
 // the evaluation set, and -j N to evaluate N workloads in parallel
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | resilience | report")
+		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | resilience | advise | report")
 		sweepWl    = flag.String("sweep-workload", "camel", "workload for -experiment sweep")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut    = flag.Bool("json", false, "emit JSON (fig6/fig8; NDJSON rows for resilience)")
@@ -194,6 +195,31 @@ func main() {
 		if !*jsonOut {
 			fmt.Println("Resilience: ghost-variant speedup vs deterministic fault intensity")
 			fmt.Print(harness.RenderResilience(rows))
+		}
+
+	case "advise":
+		// Static advice joined against measured ghost speedups, over the
+		// whole registry (the advice layer also covers workloads outside
+		// the 34-workload evaluation set, such as camel-ghost).
+		anames := names
+		if *workSet == "" {
+			anames = workloads.Names()
+		}
+		var sink func(harness.AdviseRow)
+		if !*quiet && !*jsonOut {
+			sink = func(r harness.AdviseRow) {
+				fmt.Fprintf(os.Stderr, "done %s\n", r.Workload)
+			}
+		}
+		sum, err := harness.Advise(anames, idleCfg, *jobs, sink)
+		check(err)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			check(enc.Encode(sum))
+		} else {
+			fmt.Println("Advise: static ghost-benefit prediction vs measured ghost speedup")
+			fmt.Print(harness.RenderAdvise(sum))
 		}
 
 	case "report":

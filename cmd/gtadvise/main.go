@@ -1,0 +1,102 @@
+// Command gtadvise runs the static advice passes — address-pattern
+// classification, the may-alias oracle, and the ghost-benefit cost
+// model — over registered workloads and prints, per annotated target
+// load, its stride class and predicted benefit, and per workload a
+// ghost / smt-openmp / none recommendation. Purely static: nothing is
+// simulated (the `ghostbench -experiment advise` harness joins this
+// output against measured speedups).
+//
+//	gtadvise -all                    advise every registered workload
+//	gtadvise -workload camel,hj8     advise selected workloads
+//	gtadvise -all -json              machine-readable advice (golden-file input)
+//
+// Exit codes:
+//
+//	0  advice produced
+//	1  internal failure (unknown workload, analysis error)
+//	2  usage error (no mode selected, unknown flag)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/lint"
+	"ghostthread/internal/workloads"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "advise every registered workload")
+		workload = flag.String("workload", "", "advise a comma-separated list of workloads")
+		eval     = flag.Bool("eval-scale", false, "analyze evaluation-scale instances instead of profile-scale")
+		asJSON   = flag.Bool("json", false, "emit a JSON advice array on stdout instead of the table")
+	)
+	flag.Parse()
+
+	var opts lint.Options
+	if *eval {
+		opts.Scale = workloads.ScaleEval
+	}
+	cp := analysis.DefaultCostParams()
+
+	var advice []*lint.WorkloadAdvice
+	switch {
+	case *all:
+		var err error
+		advice, err = lint.AdviseAll(opts, cp)
+		if err != nil {
+			fatal(err)
+		}
+	case *workload != "":
+		for _, name := range strings.Split(*workload, ",") {
+			adv, err := lint.Advise(strings.TrimSpace(name), opts, cp)
+			if err != nil {
+				fatal(err)
+			}
+			advice = append(advice, adv)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(advice); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%-14s %-6s %-16s %-14s %6s %6s %6s %8s  %s\n",
+		"workload", "pc", "loop", "class", "body", "slice", "lead", "benefit", "recommend")
+	for _, adv := range advice {
+		if len(adv.Targets) == 0 {
+			fmt.Printf("%-14s %-6s %-16s %-14s %6s %6s %6s %8s  %s\n",
+				adv.Workload, "-", "-", "-", "-", "-", "-", "-", adv.Recommend)
+			continue
+		}
+		for i, t := range adv.Targets {
+			name := adv.Workload
+			rec := ""
+			if i == 0 {
+				rec = adv.Recommend
+			} else {
+				name = ""
+			}
+			fmt.Printf("%-14s %-6d %-16s %-14s %6d %6d %6.2f %8.3f  %s\n",
+				name, t.PC, t.Loop, t.Class, t.BodyLen, t.SliceLen, t.Lead, t.Benefit, rec)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtadvise:", err)
+	os.Exit(1)
+}

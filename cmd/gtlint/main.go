@@ -6,11 +6,18 @@
 //	gtlint -all              lint every registered workload
 //	gtlint -workload camel   lint one workload
 //	gtlint -all -v           include info findings (slice minimality)
+//	gtlint -all -json        machine-readable output (one report)
 //
-// Exit status is 1 when any error-severity finding is reported.
+// Exit codes:
+//
+//	0  clean — no error-severity findings
+//	1  at least one error-severity finding (or an internal failure)
+//	2  usage error (no mode selected, unknown flag, unknown workload
+//	   names are reported as errors with exit 1)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +28,23 @@ import (
 	"ghostthread/internal/workloads"
 )
 
+// jsonReport is the -json document: findings across all linted
+// workloads in Report.Sort order, plus summary counts.
+type jsonReport struct {
+	Workloads []string           `json:"workloads"`
+	Findings  []analysis.Finding `json:"findings"`
+	Errors    int                `json:"errors"`
+	Warnings  int                `json:"warnings"`
+	Infos     int                `json:"infos"`
+}
+
 func main() {
 	var (
 		all      = flag.Bool("all", false, "lint every registered workload")
 		workload = flag.String("workload", "", "lint a single workload (see gtrun -list)")
 		verbose  = flag.Bool("v", false, "also print info-severity findings (minimality report)")
 		eval     = flag.Bool("eval-scale", false, "lint evaluation-scale instances instead of profile-scale")
+		asJSON   = flag.Bool("json", false, "emit one JSON report on stdout instead of text")
 	)
 	flag.Parse()
 
@@ -60,24 +78,41 @@ func main() {
 	}
 	sort.Strings(names)
 
-	errs, warns := 0, 0
+	merged := &analysis.Report{}
 	for _, n := range names {
-		for _, f := range reports[n].Findings {
-			switch f.Severity {
-			case analysis.SevError:
-				errs++
-			case analysis.SevWarn:
-				warns++
-			case analysis.SevInfo:
-				if !*verbose {
-					continue
-				}
-			}
-			fmt.Printf("%s: %s\n", n, f)
-		}
+		merged.Add(reports[n].Findings...)
 	}
-	fmt.Printf("gtlint: %d workloads, %d errors, %d warnings\n", len(names), errs, warns)
-	if errs > 0 {
+	merged.Dedupe()
+
+	doc := jsonReport{Workloads: names, Findings: []analysis.Finding{}}
+	for _, f := range merged.Findings {
+		switch f.Severity {
+		case analysis.SevError:
+			doc.Errors++
+		case analysis.SevWarn:
+			doc.Warnings++
+		case analysis.SevInfo:
+			doc.Infos++
+			if !*verbose {
+				continue
+			}
+		}
+		doc.Findings = append(doc.Findings, f)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range doc.Findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("gtlint: %d workloads, %d errors, %d warnings\n", len(names), doc.Errors, doc.Warnings)
+	}
+	if doc.Errors > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,165 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/isa"
+)
+
+func valuesFor(t *testing.T, p *isa.Program) *analysis.Values {
+	t.Helper()
+	return analysis.AnalyzeValues(analysis.BuildCFG(p))
+}
+
+// TestAbsintShiftMulSaturation pins the saturating arithmetic at the
+// int64 boundaries: overflowing shifts and multiplies must pin to ±∞
+// rather than wrap (a wrapped bound would un-soundly shrink an address
+// footprint).
+func TestAbsintShiftMulSaturation(t *testing.T) {
+	b := isa.NewBuilder("saturate")
+	big := b.Imm(1 << 62)
+	shBig := b.Reg()
+	b.ShlI(shBig, big, 2) // overflows positive: MaxInt64
+	neg := b.Imm(-5)
+	shNeg := b.Reg()
+	b.ShlI(shNeg, neg, 1) // negative shift value: MinInt64
+	mulBig := b.Reg()
+	b.MulI(mulBig, big, 1<<40) // overflows positive: MaxInt64
+	mulNeg := b.Reg()
+	b.MulI(mulNeg, neg, math.MinInt64/4) // overflows: signs differ... positive product saturates
+	sane := b.Imm(12)
+	shOK := b.Reg()
+	b.ShlI(shOK, sane, 3)
+	haltPC := b.Halt()
+	p := b.MustBuild()
+
+	v := valuesFor(t, p)
+	at := func(r isa.Reg) analysis.Interval { return v.RegAt(haltPC, r) }
+	if got := at(shBig); got != analysis.ConstIv(math.MaxInt64) {
+		t.Errorf("1<<62 << 2 = %v, want saturated MaxInt64", got)
+	}
+	if got := at(shNeg); got != analysis.ConstIv(math.MinInt64) {
+		t.Errorf("-5 << 1 = %v, want saturated MinInt64 (negative shifts are not modeled)", got)
+	}
+	if got := at(mulBig); got != analysis.ConstIv(math.MaxInt64) {
+		t.Errorf("(1<<62) * (1<<40) = %v, want saturated MaxInt64", got)
+	}
+	if got := at(mulNeg); got != analysis.ConstIv(math.MaxInt64) {
+		t.Errorf("-5 * (MinInt64/4) = %v, want saturated MaxInt64", got)
+	}
+	if got := at(shOK); got != analysis.ConstIv(12<<3) {
+		t.Errorf("12 << 3 = %v, want exact 96", got)
+	}
+}
+
+// TestAbsintEdgeRefinement pins refineEdge: a masked value is split by a
+// conditional branch into tight per-edge ranges, and a branch the
+// abstract state proves one-sided leaves its dead edge unreached.
+func TestAbsintEdgeRefinement(t *testing.T) {
+	b := isa.NewBuilder("refine")
+	src := b.Imm(1000)
+	x := b.Reg()
+	b.Load(x, src, 0) // Top
+	r := b.Reg()
+	b.AndI(r, x, 255) // [0, 255]
+	c128 := b.Imm(128)
+	c300 := b.Imm(300)
+
+	lBig := b.NewLabel()
+	lDead := b.NewLabel()
+	lEnd := b.NewLabel()
+	b.BGE(r, c128, lBig)
+	small := b.Reg()
+	smallPC := b.Mov(small, r) // fallthrough: r < 128
+	b.Jmp(lEnd)
+	b.Bind(lBig)
+	bigReg := b.Reg()
+	bigPC := b.Mov(bigReg, r) // taken: r >= 128
+	b.BGE(r, c300, lDead)     // infeasible: r <= 255 < 300
+	b.Jmp(lEnd)
+	b.Bind(lDead)
+	deadPC := b.Nop()
+	b.Bind(lEnd)
+	b.Halt()
+	p := b.MustBuild()
+
+	v := valuesFor(t, p)
+	if got, want := v.RegAt(smallPC, r), (analysis.Interval{Lo: 0, Hi: 127}); got != want {
+		t.Errorf("fallthrough edge: r = %v, want %v", got, want)
+	}
+	if got, want := v.RegAt(bigPC, r), (analysis.Interval{Lo: 128, Hi: 255}); got != want {
+		t.Errorf("taken edge: r = %v, want %v", got, want)
+	}
+	if v.ReachedPC(deadPC) {
+		t.Error("edge r >= 300 with r in [0,255] marked feasible")
+	}
+}
+
+// TestAbsintNestedLoopConvergence checks the widening strategy on nested
+// counted loops: the analysis must terminate, and the branch refinement
+// must keep both induction variables inside their constant trip bounds in
+// the inner body instead of widening them to ±∞.
+func TestAbsintNestedLoopConvergence(t *testing.T) {
+	b := isa.NewBuilder("nested")
+	zero := b.Imm(0)
+	olim := b.Imm(64)
+	ilim := b.Imm(16)
+	base := b.Imm(4096)
+	var loadPC int
+	var oReg, iReg isa.Reg
+	b.CountedLoop("outer", zero, olim, func(oi isa.Reg) {
+		oReg = oi
+		b.CountedLoop("inner", zero, ilim, func(ii isa.Reg) {
+			iReg = ii
+			a := b.Reg()
+			b.Add(a, base, ii)
+			val := b.Reg()
+			loadPC = b.Load(val, a, 0)
+		})
+	})
+	b.Halt()
+	p := b.MustBuild()
+
+	v := valuesFor(t, p)
+	if got, want := v.RegAt(loadPC, oReg), (analysis.Interval{Lo: 0, Hi: 63}); got != want {
+		t.Errorf("outer IV in inner body: %v, want %v", got, want)
+	}
+	if got, want := v.RegAt(loadPC, iReg), (analysis.Interval{Lo: 0, Hi: 15}); got != want {
+		t.Errorf("inner IV in inner body: %v, want %v", got, want)
+	}
+	if got, want := v.MemAddr(loadPC), (analysis.Interval{Lo: 4096, Hi: 4096 + 15}); got != want {
+		t.Errorf("inner load footprint: %v, want %v", got, want)
+	}
+}
+
+// TestAbsintNegativeStride pins MemAddr on a descending loop with a
+// negative immediate offset: the footprint must stay a finite interval
+// bracketing base+i-8 for i in [1, 1000].
+func TestAbsintNegativeStride(t *testing.T) {
+	b := isa.NewBuilder("descend")
+	zero := b.Imm(0)
+	base := b.Imm(5000)
+	i := b.Reg()
+	b.Const(i, 1000)
+	lExit := b.NewLabel()
+	head := b.HereLabel()
+	b.BLE(i, zero, lExit) // loop while i > 0
+	addr := b.Reg()
+	b.Add(addr, base, i)
+	val := b.Reg()
+	loadPC := b.Load(val, addr, -8)
+	b.AddI(i, i, -1)
+	b.Jmp(head)
+	b.Bind(lExit)
+	b.Halt()
+	p := b.MustBuild()
+
+	v := valuesFor(t, p)
+	got := v.MemAddr(loadPC)
+	want := analysis.Interval{Lo: 5000 + 1 - 8, Hi: 5000 + 1000 - 8}
+	if got != want {
+		t.Errorf("descending-loop footprint: %v, want %v", got, want)
+	}
+}

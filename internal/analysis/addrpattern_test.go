@@ -1,0 +1,163 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/isa"
+)
+
+// buildPatternZoo emits one program exercising every stride class, and
+// returns the pc of each classified load by name:
+//
+//	invariant — load [cfg] where cfg is defined before the loop;
+//	affine    — load [base + 2i];
+//	computed  — load [base + (i^mix)] (xor breaks affinity, no load);
+//	indirect  — load [vals + idx] where idx = load [index + i];
+//	indirect2 — load [vals + idx2] where idx2 = load [vals + idx];
+//	chase     — p = load [p], the list-walk recurrence.
+func buildPatternZoo(t *testing.T) (*isa.Program, map[string]int) {
+	t.Helper()
+	b := isa.NewBuilder("pattern-zoo")
+	pcs := map[string]int{}
+
+	cfgAddr := b.Imm(100)
+	base := b.Imm(4096)
+	index := b.Imm(8192)
+	vals := b.Imm(16384)
+	mix := b.Imm(0)
+	p := b.Imm(24576)
+	zero := b.Imm(0)
+	limit := b.Imm(1024)
+
+	b.CountedLoop("zoo", zero, limit, func(i isa.Reg) {
+		inv := b.Reg()
+		pcs["invariant"] = b.Load(inv, cfgAddr, 0)
+
+		off := b.Reg()
+		b.ShlI(off, i, 1)
+		aAddr := b.Reg()
+		b.Add(aAddr, base, off)
+		av := b.Reg()
+		pcs["affine"] = b.Load(av, aAddr, 0)
+
+		h := b.Reg()
+		b.Xor(h, i, mix)
+		cAddr := b.Reg()
+		b.Add(cAddr, base, h)
+		cv := b.Reg()
+		pcs["computed"] = b.Load(cv, cAddr, 0)
+
+		iAddr := b.Reg()
+		b.Add(iAddr, index, i)
+		idx := b.Reg()
+		b.Load(idx, iAddr, 0)
+		vAddr := b.Reg()
+		b.Add(vAddr, vals, idx)
+		vv := b.Reg()
+		pcs["indirect"] = b.Load(vv, vAddr, 0)
+
+		v2Addr := b.Reg()
+		b.Add(v2Addr, vals, vv)
+		v2 := b.Reg()
+		pcs["indirect2"] = b.Load(v2, v2Addr, 0)
+
+		pcs["chase"] = b.Load(p, p, 0)
+	})
+	b.Halt()
+	return b.MustBuild(), pcs
+}
+
+func TestStrideClassification(t *testing.T) {
+	prog, pcs := buildPatternZoo(t)
+	pt := analysis.AnalyzeAddrPatterns(prog)
+
+	want := map[string]analysis.StrideClass{
+		"invariant": analysis.ClassInvariant,
+		"affine":    analysis.ClassAffine,
+		"computed":  analysis.ClassComputed,
+		"indirect":  analysis.ClassIndirect,
+		"indirect2": analysis.ClassIndirect,
+		"chase":     analysis.ClassChase,
+	}
+	for name, pc := range pcs {
+		ap := pt.PatternAt(pc)
+		if ap.Class != want[name] {
+			t.Errorf("%s load at pc %d: class %s, want %s", name, pc, ap.Class, want[name])
+		}
+	}
+
+	if ap := pt.PatternAt(pcs["affine"]); ap.Stride != 2 || !ap.BaseKnown || ap.Base != 4096 {
+		t.Errorf("affine pattern: stride %d base (%v, %d), want stride 2 base (true, 4096)", ap.Stride, ap.BaseKnown, ap.Base)
+	}
+	if ap := pt.PatternAt(pcs["indirect"]); ap.IndirectDepth != 1 {
+		t.Errorf("indirect depth %d, want 1", ap.IndirectDepth)
+	}
+	if ap := pt.PatternAt(pcs["indirect2"]); ap.IndirectDepth != 2 {
+		t.Errorf("double-indirect depth %d, want 2", ap.IndirectDepth)
+	}
+	if ap := pt.PatternAt(pcs["invariant"]); ap.Loop < 0 {
+		t.Errorf("invariant load should still report its loop, got %d", ap.Loop)
+	}
+}
+
+// TestOuterCarriedIsNotChase pins the frontier-double-buffer fix: a value
+// cycle rotated by the *outer* loop (cur/next buffer swap between BFS
+// levels) must not turn the inner loop's indirect load into a pointer
+// chase — the inner iterations are still independent.
+func TestOuterCarriedIsNotChase(t *testing.T) {
+	b := isa.NewBuilder("frontier-swap")
+	cur := b.Imm(4096)
+	next := b.Imm(8192)
+	vals := b.Imm(16384)
+	zero := b.Imm(0)
+	olim := b.Imm(16)
+	ilim := b.Imm(256)
+
+	var loadPC int
+	b.CountedLoop("levels", zero, olim, func(_ isa.Reg) {
+		tmp := b.Reg()
+		b.Mov(tmp, cur)
+		b.Mov(cur, next)
+		b.Mov(next, tmp)
+		b.CountedLoop("frontier", zero, ilim, func(i isa.Reg) {
+			fAddr := b.Reg()
+			b.Add(fAddr, cur, i)
+			idx := b.Reg()
+			b.Load(idx, fAddr, 0)
+			vAddr := b.Reg()
+			b.Add(vAddr, vals, idx)
+			v := b.Reg()
+			loadPC = b.Load(v, vAddr, 0)
+		})
+	})
+	b.Halt()
+	prog := b.MustBuild()
+
+	pt := analysis.AnalyzeAddrPatterns(prog)
+	ap := pt.PatternAt(loadPC)
+	if ap.Class != analysis.ClassIndirect {
+		t.Fatalf("inner load under an outer-loop value rotation: class %s, want %s", ap.Class, analysis.ClassIndirect)
+	}
+}
+
+// TestNoUnknownClassInZoo checks the taxonomy is total over every memory
+// operand of the zoo program, including addresses no case was designed
+// for.
+func TestNoUnknownClassInZoo(t *testing.T) {
+	prog, _ := buildPatternZoo(t)
+	pt := analysis.AnalyzeAddrPatterns(prog)
+	for pc := range prog.Code {
+		op := prog.Code[pc].Op
+		if op != isa.OpLoad && op != isa.OpStore && op != isa.OpPrefetch && op != isa.OpAtomicAdd {
+			continue
+		}
+		ap := pt.PatternAt(pc)
+		switch ap.Class {
+		case analysis.ClassInvariant, analysis.ClassAffine, analysis.ClassComputed,
+			analysis.ClassIndirect, analysis.ClassChase:
+		default:
+			t.Errorf("pc %d: unclassified operand (class %d)", pc, int(ap.Class))
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/isa"
+)
+
+// buildStridedStores emits one loop with two stores at base + stride·i +
+// offA / offB (base a compile-time constant) and returns their pcs.
+func buildStridedStores(t *testing.T, name string, base, stride, offA, offB int64) (*isa.Program, int, int) {
+	t.Helper()
+	b := isa.NewBuilder(name)
+	baseR := b.Imm(base)
+	zero := b.Imm(0)
+	limit := b.Imm(512)
+	v := b.Imm(7)
+	var pcA, pcB int
+	b.CountedLoop("stores", zero, limit, func(i isa.Reg) {
+		off := b.Reg()
+		b.MulI(off, i, stride)
+		addr := b.Reg()
+		b.Add(addr, baseR, off)
+		pcA = b.Store(addr, offA, v)
+		pcB = b.Store(addr, offB, v)
+	})
+	b.Halt()
+	return b.MustBuild(), pcA, pcB
+}
+
+// TestMayAliasConstProgressions exercises rule 2: constant-base affine
+// progressions compared by residue modulo the stride gcd.
+func TestMayAliasConstProgressions(t *testing.T) {
+	// A[2i] vs A[2i+1]: residues 0 and 1 mod 2 — provably disjoint.
+	prog, pcA, pcB := buildStridedStores(t, "interleaved", 4096, 2, 0, 1)
+	pt := analysis.AnalyzeAddrPatterns(prog)
+	if analysis.MayAlias(pt, pcA, pt, pcB) {
+		t.Error("A[2i] and A[2i+1] reported as may-alias; residue rule should separate them")
+	}
+
+	// A[2i] vs A[2i+2]: same residue class — they do meet (at i, i+1).
+	prog2, pcA2, pcB2 := buildStridedStores(t, "overlapping", 4096, 2, 0, 2)
+	pt2 := analysis.AnalyzeAddrPatterns(prog2)
+	if !analysis.MayAlias(pt2, pcA2, pt2, pcB2) {
+		t.Error("A[2i] and A[2i+2] reported as disjoint; they collide across iterations")
+	}
+
+	// Cross-program: helper 0 writes even words, helper 1 odd words of the
+	// same constant-based array — rule 2 works across register files.
+	h0, pcE, _ := buildStridedStores(t, "h0", 4096, 2, 0, 0)
+	h1, pcO, _ := buildStridedStores(t, "h1", 4096, 2, 1, 1)
+	pt0 := analysis.AnalyzeAddrPatterns(h0)
+	pt1 := analysis.AnalyzeAddrPatterns(h1)
+	if analysis.MayAlias(pt0, pcE, pt1, pcO) {
+		t.Error("even/odd interleaved streams across programs reported as may-alias")
+	}
+}
+
+// TestMayAliasSymbolicBase exercises rule 3: a live-in (never-defined)
+// base register is unknown to the interval and constant-progression
+// rules, but identical symbolic parts cancel within one program.
+func TestMayAliasSymbolicBase(t *testing.T) {
+	b := isa.NewBuilder("symbolic")
+	baseR := isa.Reg(30) // live-in: spawn-copied, never defined here
+	b.ReserveRegs(31)
+	zero := b.Imm(0)
+	limit := b.Imm(512)
+	v := b.Imm(7)
+	var pcA, pcB int
+	b.CountedLoop("stores", zero, limit, func(i isa.Reg) {
+		off := b.Reg()
+		b.MulI(off, i, 2)
+		addr := b.Reg()
+		b.Add(addr, baseR, off)
+		pcA = b.Store(addr, 0, v)
+		pcB = b.Store(addr, 1, v)
+	})
+	b.Halt()
+	prog := b.MustBuild()
+	pt := analysis.AnalyzeAddrPatterns(prog)
+
+	if analysis.MayAlias(pt, pcA, pt, pcB) {
+		t.Error("base[2i] and base[2i+1] with a shared symbolic base reported as may-alias")
+	}
+
+	// The same pair compared across two distinct analyses must stay
+	// may-alias: rule 3 is same-analysis only (two register files need not
+	// hold the same base value).
+	pt2 := analysis.AnalyzeAddrPatterns(prog)
+	if !analysis.MayAlias(pt, pcA, pt2, pcB) {
+		t.Error("symbolic bases cancelled across analyses; rule 3 must not apply cross-program")
+	}
+}
+
+// TestRaceCheckerAliasUpgrade pins the alias upgrade on the race checker:
+// two helpers writing interleaved even/odd streams of one array overlap
+// as intervals (a false positive under IntervalOnly) but are separated by
+// the progression rule — and the upgrade only ever removes findings.
+func TestRaceCheckerAliasUpgrade(t *testing.T) {
+	h0, _, _ := buildStridedStores(t, "even-writer", 4096, 2, 0, 0)
+	h1, _, _ := buildStridedStores(t, "odd-writer", 4096, 2, 1, 1)
+
+	mb := isa.NewBuilder("spawner")
+	mb.Spawn(0)
+	mb.Spawn(1)
+	mb.JoinWait()
+	mb.Halt()
+	main := mb.MustBuild()
+	helpers := []*isa.Program{h0, h1}
+
+	interval := analysis.CheckRacesOpt(main, helpers, false, analysis.RaceOptions{IntervalOnly: true})
+	if len(interval) == 0 {
+		t.Fatal("interval-only race check found nothing; the streams should overlap as intervals")
+	}
+	aliased := analysis.CheckRaces(main, helpers, false)
+	if len(aliased) != 0 {
+		t.Errorf("alias-aware race check still reports %d findings on provably interleaved streams: %v", len(aliased), aliased)
+	}
+}

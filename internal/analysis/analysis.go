@@ -60,13 +60,19 @@ func (s Severity) String() string {
 	return fmt.Sprintf("Severity(%d)", int(s))
 }
 
+// MarshalJSON emits the severity as its stable string name, so JSON
+// output (gtlint -json) survives renumbering the constants.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
 // Finding is one checker result, anchored to a program point.
 type Finding struct {
-	Checker  string // "ghost-safety", "sync-segment", "race", "loops", "minimality"
-	Program  string // program name
-	PC       int    // instruction index, or -1 for program-wide findings
-	Severity Severity
-	Msg      string
+	Checker  string   `json:"checker"` // "ghost-safety", "sync-segment", "race", "loops", "minimality"
+	Program  string   `json:"program"` // program name
+	PC       int      `json:"pc"`      // instruction index, or -1 for program-wide findings
+	Severity Severity `json:"severity"`
+	Msg      string   `json:"msg"`
 }
 
 // String renders the finding in gtlint's one-line format.
@@ -99,7 +105,9 @@ func (r *Report) Errors() []Finding {
 // HasErrors reports whether any finding is an error.
 func (r *Report) HasErrors() bool { return len(r.Errors()) > 0 }
 
-// Sort orders findings by program, then severity (errors first), then PC.
+// Sort orders findings by program, then severity (errors first), then
+// PC, then checker, then message — a total order, so two runs over the
+// same programs serialize identically and golden files are stable.
 func (r *Report) Sort() {
 	sort.SliceStable(r.Findings, func(i, j int) bool {
 		a, b := r.Findings[i], r.Findings[j]
@@ -109,8 +117,29 @@ func (r *Report) Sort() {
 		if a.Severity != b.Severity {
 			return a.Severity > b.Severity
 		}
-		return a.PC < b.PC
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Msg < b.Msg
 	})
+}
+
+// Dedupe sorts the report and drops exact-duplicate findings (same
+// checker, program, PC, severity, message) — checkers running over
+// overlapping program sets may legitimately rediscover the same fact.
+func (r *Report) Dedupe() {
+	r.Sort()
+	out := r.Findings[:0]
+	for i, f := range r.Findings {
+		if i > 0 && f == r.Findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	r.Findings = out
 }
 
 // CounterAddrs are the shared synchronization words a ghost thread is

@@ -1,0 +1,290 @@
+package analysis
+
+import "ghostthread/internal/isa"
+
+// costmodel.go — the static ghost-benefit cost model (paper §4.1 turned
+// into a compile-time estimate). Per target load it sizes the p-slice
+// against the loop body, prices the synchronization segment, estimates
+// the fraction of an iteration the target's miss stalls, and combines
+// them into the lead a ghost thread could build and the benefit that
+// lead can realize.
+
+// CostParams are the cost-model constants. Timing-flavored values
+// (MissLatency, LLCWords) describe the simulated machine; the sync
+// instruction counts restate what core.EmitSync emits (the analysis
+// layer sits below internal/core in the dependency order, mirroring the
+// CounterAddrs precedent); MinBenefit is the recommendation threshold,
+// calibrated against the measured figure-6 sweep (see DESIGN.md).
+type CostParams struct {
+	// MissLatency is the commit stall a missing target load costs, in
+	// cycles — roughly the DRAM round trip of the simulated machine.
+	MissLatency float64
+	// LLCWords is the last-level-cache capacity in words: a target whose
+	// address footprint fits inside it rarely misses, however irregular
+	// the pattern.
+	LLCWords int64
+
+	// SyncFastLen is the per-iteration fast path of the sync segment
+	// (counter bump + flag test + frequency mask); SyncCheckLen the extra
+	// instructions on the one-in-SyncFreq iterations that load the main
+	// counter and run the figure-4(d) state machine.
+	SyncFastLen  int
+	SyncCheckLen int
+	SyncFreq     int64
+
+	// ClassWeight scales the expected miss exposure per stride class:
+	// affine streams are partially covered by trivial prefetching,
+	// computed and indirect patterns are fully exposed.
+	AffineWeight   float64
+	ComputedWeight float64
+	IndirectWeight float64
+
+	// MLPMax caps the memory-level parallelism a ghost thread can
+	// sustain (outstanding miss buffers of the simulated core). For
+	// non-chasing classes consecutive inner iterations are independent,
+	// so the ghost overlaps up to min(trips, MLPMax) fills.
+	MLPMax float64
+	// MinTrips is the inner-loop trip count below which the predicted
+	// benefit is discounted linearly: a helper spends most of a short
+	// inner loop on the surrounding outer-loop slice and the sync
+	// segment rather than running ahead (road-network graphs, degree
+	// ~4, are the canonical case).
+	MinTrips float64
+
+	// MinBenefit is the minimum predicted benefit score for a ghost
+	// recommendation.
+	MinBenefit float64
+}
+
+// DefaultCostParams returns constants calibrated on the repository's
+// simulated machine (sim.DefaultConfig: 4-level hierarchy, ~300-cycle
+// DRAM) against the measured figure-6 speedups.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		MissLatency:    300,
+		LLCWords:       1 << 16,
+		SyncFastLen:    5,
+		SyncCheckLen:   9,
+		SyncFreq:       16,
+		AffineWeight:   0.25,
+		ComputedWeight: 1.0,
+		IndirectWeight: 1.0,
+		MLPMax:         16,
+		MinTrips:       8,
+		MinBenefit:     0.6,
+	}
+}
+
+// CostHints carry the per-workload context the IR alone cannot supply.
+type CostHints struct {
+	// InnerTrips is the expected trip count of the target's inner loop
+	// (workloads.Instance.InnerTrips); 0 means no estimate, which
+	// disables the short-loop discount and grants full MLP.
+	InnerTrips float64
+	// Regions counts the distinct target loops the workload would
+	// slice. A single ghost thread serves them in sequence, so its
+	// attention — and the predicted benefit — divides across regions
+	// (bc's forward + backward phases are the canonical case).
+	Regions int
+}
+
+// LoopCost is the cost-model verdict for one target load.
+type LoopCost struct {
+	TargetPC int         `json:"pc"`
+	Pattern  AddrPattern `json:"pattern"`
+
+	// BodyLen counts reachable instructions in the target's innermost
+	// natural loop; SliceLen the subset a p-slice must keep (the backward
+	// closure of the target address plus all control flow).
+	BodyLen  int `json:"body_len"`
+	SliceLen int `json:"slice_len"`
+	// SyncOverhead is the amortized per-iteration instruction cost of the
+	// synchronization segment.
+	SyncOverhead float64 `json:"sync_overhead"`
+
+	// MissRate is the estimated miss probability of the target from its
+	// address footprint; StallPerIter the resulting commit-stall cycles
+	// per iteration; MLP the fill overlap granted to the ghost; Lead
+	// the iteration-rate ratio ghost/main; TripFactor the short-loop
+	// discount; Benefit the fraction of per-iteration time a ghost
+	// prefetch can hide.
+	MissRate     float64 `json:"miss_rate"`
+	StallPerIter float64 `json:"stall_per_iter"`
+	MLP          float64 `json:"mlp"`
+	Lead         float64 `json:"lead"`
+	TripFactor   float64 `json:"trip_factor"`
+	Benefit      float64 `json:"benefit"`
+
+	// RecommendGhost is the per-target verdict: Benefit ≥ MinBenefit and
+	// a class a helper can actually run ahead of.
+	RecommendGhost bool `json:"recommend_ghost"`
+}
+
+// GhostBenefit runs the cost model for one target load of p.
+func GhostBenefit(pt *Patterns, targetPC int, cp CostParams, hints CostHints) LoopCost {
+	lc := LoopCost{TargetPC: targetPC, Pattern: pt.PatternAt(targetPC)}
+	li := lc.Pattern.Loop
+	if li < 0 {
+		return lc // outside any loop: nothing to slice
+	}
+
+	lo, hi := pt.loopSpan(li)
+	for pc := lo; pc < hi; pc++ {
+		if pt.G.ReachablePC(pc) && pt.F.Loops[li].Blocks[pt.G.BlockOf[pc]] {
+			lc.BodyLen++
+		}
+	}
+	lc.SliceLen = pt.sliceLen(li, targetPC)
+	lc.SyncOverhead = float64(cp.SyncFastLen) + float64(cp.SyncCheckLen)/float64(cp.SyncFreq)
+
+	// Footprint → miss rate. Top (or saturating) intervals are unbounded
+	// streams: certain misses at scale.
+	lc.MissRate = 1
+	if fp := lc.Pattern.Footprint; !fp.IsTop() {
+		if w := fp.Hi - fp.Lo + 1; w > 0 && cp.LLCWords > 0 {
+			lc.MissRate = float64(w) / float64(cp.LLCWords)
+			if lc.MissRate > 1 {
+				lc.MissRate = 1
+			}
+		}
+	}
+
+	weight := 0.0
+	switch lc.Pattern.Class {
+	case ClassAffine:
+		weight = cp.AffineWeight
+	case ClassComputed:
+		weight = cp.ComputedWeight
+	case ClassIndirect:
+		weight = cp.IndirectWeight
+	}
+	lc.StallPerIter = cp.MissLatency * lc.MissRate * weight
+
+	// MLP: consecutive inner iterations of a non-chasing target are
+	// independent, so the ghost can keep min(trips, MLPMax) fills in
+	// flight; a pointer chase serializes on every fill.
+	lc.MLP = 1
+	if lc.Pattern.Class != ClassChase {
+		lc.MLP = hints.InnerTrips
+		if lc.MLP <= 0 || lc.MLP > cp.MLPMax {
+			lc.MLP = cp.MLPMax
+		}
+		if lc.MLP < 1 {
+			lc.MLP = 1
+		}
+	}
+
+	// Lead: how much faster the ghost retires an iteration than the
+	// main thread does. The main thread pays the body plus the full
+	// stall (a demand miss serializes with its use); the ghost pays the
+	// slice plus sync, or its own MLP-overlapped fills, whichever
+	// bounds it. A pointer chase cannot lead at all: its next address
+	// needs the previous iteration's fill, so it runs at memory speed
+	// alongside the main thread.
+	ghostIter := float64(lc.SliceLen) + lc.SyncOverhead
+	if fills := lc.StallPerIter / lc.MLP; fills > ghostIter {
+		ghostIter = fills
+	}
+	if ghostIter > 0 && lc.Pattern.Class != ClassChase {
+		lc.Lead = (float64(lc.BodyLen) + lc.StallPerIter) / ghostIter
+	}
+
+	// Short inner loops spend their time in the outer-loop slice and
+	// the sync segment rather than running ahead: discount linearly
+	// below MinTrips. No estimate (0) means no discount.
+	lc.TripFactor = 1
+	if hints.InnerTrips > 0 && cp.MinTrips > 0 && hints.InnerTrips < cp.MinTrips {
+		lc.TripFactor = hints.InnerTrips / cp.MinTrips
+	}
+	regions := hints.Regions
+	if regions < 1 {
+		regions = 1
+	}
+
+	// Benefit: the stall fraction of an iteration, scaled by how much
+	// of it the lead can cover, the short-loop discount, and the number
+	// of target regions splitting the ghost's attention.
+	leadFactor := lc.Lead - 1
+	if leadFactor < 0 {
+		leadFactor = 0
+	}
+	if leadFactor > 1 {
+		leadFactor = 1
+	}
+	if total := float64(lc.BodyLen) + lc.StallPerIter; total > 0 {
+		lc.Benefit = lc.StallPerIter / total * leadFactor * lc.TripFactor / float64(regions)
+	}
+
+	// Only indirect targets earn a ghost: affine and computed addresses
+	// need no memory to generate, so inline software prefetching covers
+	// them without spending an SMT context (chase cannot be helped at
+	// all).
+	if lc.Pattern.Class == ClassIndirect {
+		lc.RecommendGhost = lc.Benefit >= cp.MinBenefit
+	}
+	return lc
+}
+
+// loopSpan returns the [lo, hi) instruction span covering the loop's
+// blocks.
+func (pt *Patterns) loopSpan(li int) (int, int) {
+	lo, hi := len(pt.Prog.Code), 0
+	for b := range pt.F.Loops[li].Blocks {
+		if s := pt.G.Blocks[b].Start; s < lo {
+			lo = s
+		}
+		if e := pt.G.Blocks[b].End; e > hi {
+			hi = e
+		}
+	}
+	return lo, hi
+}
+
+// sliceLen counts the instructions of the loop body a p-slice must keep:
+// the backward closure of the target's address chain plus every branch
+// and the computation branches depend on — mirroring the extractor's
+// slicing rule (internal/slice.computeSlice) so the estimate tracks what
+// the compiler would actually emit. Stores, atomics and thread ops are
+// dropped (the ghost is read-only); the target itself becomes the
+// prefetch.
+func (pt *Patterns) sliceLen(li int, targetPC int) int {
+	lo, hi := pt.loopSpan(li)
+	inLoop := func(pc int) bool {
+		return pt.F.Loops[li].Blocks[pt.G.BlockOf[pc]] && pt.G.ReachablePC(pc)
+	}
+	include := make(map[int]bool)
+	needed := map[isa.Reg]bool{}
+	for changed := true; changed; {
+		changed = false
+		for pc := hi - 1; pc >= lo; pc-- {
+			if include[pc] || !inLoop(pc) {
+				continue
+			}
+			in := &pt.Prog.Code[pc]
+			keep := false
+			switch {
+			case in.Op == isa.OpStore || in.Op == isa.OpAtomicAdd ||
+				in.Op == isa.OpSpawn || in.Op == isa.OpJoin || in.Op == isa.OpSerialize:
+				keep = false
+			case in.Op.IsBranch() || in.Op == isa.OpHalt:
+				keep = true
+			case pc == targetPC:
+				keep = true
+			case in.Op.HasDst() && needed[in.Dst]:
+				keep = true
+			}
+			if keep {
+				include[pc] = true
+				changed = true
+				if pc == targetPC {
+					needed[in.Src1] = true // only the address feeds the prefetch
+				} else {
+					for _, r := range srcRegs(in) {
+						needed[r] = true
+					}
+				}
+			}
+		}
+	}
+	return len(include)
+}

@@ -1,0 +1,162 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/isa"
+)
+
+// buildTargetLoop emits a canonical loop whose target load has the given
+// class shape and returns the target pc. kind is "indirect", "affine" or
+// "chase".
+func buildTargetLoop(t *testing.T, kind string) (*isa.Program, int) {
+	t.Helper()
+	b := isa.NewBuilder("cost-" + kind)
+	index := b.Imm(8192)
+	vals := b.Imm(16384)
+	p := b.Imm(24576)
+	acc := b.Imm(0)
+	zero := b.Imm(0)
+	limit := b.Imm(1 << 20)
+	var pc int
+	b.CountedLoop("hot", zero, limit, func(i isa.Reg) {
+		switch kind {
+		case "indirect":
+			iAddr := b.Reg()
+			b.Add(iAddr, index, i)
+			idx := b.Reg()
+			b.Load(idx, iAddr, 0)
+			vAddr := b.Reg()
+			b.Add(vAddr, vals, idx)
+			v := b.Reg()
+			pc = b.Load(v, vAddr, 0)
+			b.MarkTarget()
+			b.Add(acc, acc, v)
+		case "affine":
+			aAddr := b.Reg()
+			b.Add(aAddr, vals, i)
+			v := b.Reg()
+			pc = b.Load(v, aAddr, 0)
+			b.MarkTarget()
+			b.Add(acc, acc, v)
+		case "chase":
+			pc = b.Load(p, p, 0)
+			b.MarkTarget()
+			b.Add(acc, acc, p)
+		}
+	})
+	b.Halt()
+	return b.MustBuild(), pc
+}
+
+func benefitFor(t *testing.T, kind string, hints analysis.CostHints) analysis.LoopCost {
+	t.Helper()
+	prog, pc := buildTargetLoop(t, kind)
+	pt := analysis.AnalyzeAddrPatterns(prog)
+	return analysis.GhostBenefit(pt, pc, analysis.DefaultCostParams(), hints)
+}
+
+func TestCostModelRecommendsIndirect(t *testing.T) {
+	lc := benefitFor(t, "indirect", analysis.CostHints{})
+	if lc.Pattern.Class != analysis.ClassIndirect {
+		t.Fatalf("target class %s, want indirect", lc.Pattern.Class)
+	}
+	if !lc.RecommendGhost {
+		t.Errorf("high-miss indirect loop not recommended for a ghost (benefit %.3f, lead %.2f)", lc.Benefit, lc.Lead)
+	}
+	if lc.SliceLen <= 0 || lc.SliceLen >= lc.BodyLen {
+		t.Errorf("slice length %d not in (0, body %d): the p-slice must drop the use side", lc.SliceLen, lc.BodyLen)
+	}
+}
+
+func TestCostModelRejectsAffineAndChase(t *testing.T) {
+	if lc := benefitFor(t, "affine", analysis.CostHints{}); lc.RecommendGhost {
+		t.Errorf("affine stream recommended for a ghost; software prefetching covers it (benefit %.3f)", lc.Benefit)
+	}
+	lc := benefitFor(t, "chase", analysis.CostHints{})
+	if lc.RecommendGhost {
+		t.Errorf("pointer chase recommended for a ghost; nothing can run ahead of it")
+	}
+	if lc.Lead != 0 {
+		t.Errorf("pointer chase has lead %.2f, want 0", lc.Lead)
+	}
+}
+
+func TestCostModelHints(t *testing.T) {
+	full := benefitFor(t, "indirect", analysis.CostHints{})
+
+	// Short inner loops discount linearly below MinTrips.
+	short := benefitFor(t, "indirect", analysis.CostHints{InnerTrips: 4})
+	if short.TripFactor >= full.TripFactor || short.Benefit >= full.Benefit {
+		t.Errorf("4-trip loop not discounted: trip factor %.2f benefit %.3f vs %.2f / %.3f",
+			short.TripFactor, short.Benefit, full.TripFactor, full.Benefit)
+	}
+
+	// A second target region halves the ghost's attention.
+	split := benefitFor(t, "indirect", analysis.CostHints{Regions: 2})
+	if got, want := split.Benefit, full.Benefit/2; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("two-region benefit %.4f, want exactly half of %.4f", got, full.Benefit)
+	}
+
+	// Ample trips cap MLP at MLPMax, same as no estimate.
+	ample := benefitFor(t, "indirect", analysis.CostHints{InnerTrips: 1 << 20})
+	if ample.MLP != full.MLP || ample.Benefit != full.Benefit {
+		t.Errorf("ample-trip benefit %.4f (MLP %.0f) differs from no-estimate %.4f (MLP %.0f)",
+			ample.Benefit, ample.MLP, full.Benefit, full.MLP)
+	}
+}
+
+// TestMinimalityAliasHoistable pins the alias-driven minimality upgrade:
+// a loop-invariant load in the ghost whose word no main-thread store may
+// alias is flagged hoistable; the same load aliased by a store is not.
+func TestMinimalityAliasHoistable(t *testing.T) {
+	buildPair := func(storeAddr int64) (*isa.Program, *isa.Program) {
+		gb := isa.NewBuilder("ghost")
+		cfg := gb.Imm(100)
+		base := gb.Imm(4096)
+		zero := gb.Imm(0)
+		limit := gb.Imm(256)
+		gb.CountedLoop("g", zero, limit, func(i isa.Reg) {
+			n := gb.Reg()
+			gb.Load(n, cfg, 0) // invariant address: hoistable unless stored to
+			a := gb.Reg()
+			gb.Add(a, base, i)
+			gb.Prefetch(a, 0)
+			_ = n
+		})
+		gb.Halt()
+
+		mb := isa.NewBuilder("main")
+		sa := mb.Imm(storeAddr)
+		v := mb.Imm(1)
+		mz := mb.Imm(0)
+		ml := mb.Imm(256)
+		mb.CountedLoop("m", mz, ml, func(_ isa.Reg) {
+			mb.Store(sa, 0, v)
+		})
+		mb.Halt()
+		return gb.MustBuild(), mb.MustBuild()
+	}
+
+	hasHoist := func(fs []analysis.Finding) bool {
+		for _, f := range fs {
+			if f.Checker == "minimality-alias" {
+				if f.Severity != analysis.SevInfo {
+					t.Errorf("minimality-alias finding with severity %v, want info", f.Severity)
+				}
+				return true
+			}
+		}
+		return false
+	}
+
+	ghost, mainFar := buildPair(900) // store elsewhere: load is hoistable
+	if !hasHoist(analysis.ReportMinimalityVs(ghost, mainFar)) {
+		t.Error("invariant load with no aliasing store not flagged hoistable")
+	}
+	ghost2, mainHit := buildPair(100) // store to the loaded word: must stay
+	if hasHoist(analysis.ReportMinimalityVs(ghost2, mainHit)) {
+		t.Error("invariant load the main thread stores to was flagged hoistable")
+	}
+}

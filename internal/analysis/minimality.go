@@ -81,3 +81,49 @@ func ReportMinimality(p *isa.Program) []Finding {
 		reachableN, syncN, dead, invariant))
 	return out
 }
+
+// ReportMinimalityVs runs ReportMinimality on a ghost program and, with
+// the source (main) program it was sliced from, adds alias-driven
+// findings: an in-loop load whose address is invariant across the loop
+// and which no source store may alias reloads the same unchanging word
+// every iteration — it could be hoisted out of the slice loop. (A load
+// of a word some main-thread store MAY write must stay in the loop: the
+// reload is how the slice tracks the main thread.) Findings are
+// reported under the "minimality-alias" checker, info severity — an
+// over-fat slice is slow, not wrong.
+func ReportMinimalityVs(ghost, source *isa.Program) []Finding {
+	out := ReportMinimality(ghost)
+	gp := AnalyzeAddrPatterns(ghost)
+	sp := AnalyzeAddrPatterns(source)
+
+	var stores []int
+	for pc := range source.Code {
+		op := source.Code[pc].Op
+		if (op == isa.OpStore || op == isa.OpAtomicAdd) && sp.G.ReachablePC(pc) {
+			stores = append(stores, pc)
+		}
+	}
+
+	for pc := range ghost.Code {
+		in := &ghost.Code[pc]
+		if in.Op != isa.OpLoad || in.HasFlag(isa.FlagSync) || !gp.G.ReachablePC(pc) {
+			continue
+		}
+		ap := gp.PatternAt(pc)
+		if ap.Loop < 0 || ap.Class != ClassInvariant {
+			continue
+		}
+		aliased := false
+		for _, s := range stores {
+			if MayAlias(sp, s, gp, pc) {
+				aliased = true
+				break
+			}
+		}
+		if !aliased {
+			out = append(out, finding("minimality-alias", ghost, pc, SevInfo,
+				"hoistable load: address is loop-invariant and no main-thread store may alias it"))
+		}
+	}
+	return out
+}

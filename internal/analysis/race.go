@@ -32,18 +32,35 @@ func collectWrites(p *isa.Program) (*CFG, []memWrite) {
 	return g, ws
 }
 
+// RaceOptions configures CheckRacesOpt.
+type RaceOptions struct {
+	// IntervalOnly disables the symbolic may-alias oracle and compares
+	// writes by interval intersection alone — the checker's original
+	// behavior, kept callable so the regression suite can prove the
+	// alias upgrade only ever removes findings.
+	IntervalOnly bool
+}
+
 // CheckRaces lints a main program plus the helper programs it spawns for
 // write-write races: while a helper may be active, every pair of writes
 // that can target the same address must both be atomic. Address sets are
 // established by abstract interpretation, which is how a statically
 // partitioned workload (helper 0 writes [base, base+n/2), helper 1 writes
-// [base+n/2, base+n)) is proved disjoint. Helper liveness in the main
-// program is tracked with a forward may-be-active dataflow between Spawn
-// and Join, so writes the main thread performs before spawning (e.g.
-// building a hash table) are not flagged. relaxed downgrades findings to
-// warnings for workloads whose algorithm tolerates races by design
-// (relaxed-consistency graph kernels).
+// [base+n/2, base+n)) is proved disjoint; on top of the intervals, the
+// symbolic may-alias oracle (MayAlias) separates interleaved strided
+// streams the interval domain cannot (helper 0 writes A[2i], helper 1
+// writes A[2i+1]). Helper liveness in the main program is tracked with a
+// forward may-be-active dataflow between Spawn and Join, so writes the
+// main thread performs before spawning (e.g. building a hash table) are
+// not flagged. relaxed downgrades findings to warnings for workloads
+// whose algorithm tolerates races by design (relaxed-consistency graph
+// kernels).
 func CheckRaces(main *isa.Program, helpers []*isa.Program, relaxed bool) []Finding {
+	return CheckRacesOpt(main, helpers, relaxed, RaceOptions{})
+}
+
+// CheckRacesOpt is CheckRaces with explicit options.
+func CheckRacesOpt(main *isa.Program, helpers []*isa.Program, relaxed bool, opts RaceOptions) []Finding {
 	sev := SevError
 	if relaxed {
 		sev = SevWarn
@@ -111,10 +128,25 @@ func CheckRaces(main *isa.Program, helpers []*isa.Program, relaxed bool) []Findi
 		}
 	}
 
+	// Symbolic address patterns per program, for the alias oracle.
+	var patMain *Patterns
+	pats := make([]*Patterns, len(helpers))
+	if !opts.IntervalOnly {
+		patMain = AnalyzeAddrPatterns(main)
+		for h, hp := range helpers {
+			if hp != nil {
+				pats[h] = AnalyzeAddrPatterns(hp)
+			}
+		}
+	}
+
 	var out []Finding
-	conflict := func(a, b memWrite) bool {
+	conflict := func(a, b memWrite, pa, pb *Patterns) bool {
 		if a.atomic && b.atomic {
 			return false
+		}
+		if pa != nil && pb != nil {
+			return MayAlias(pa, a.pc, pb, b.pc)
 		}
 		return a.addr.Intersects(b.addr)
 	}
@@ -135,7 +167,7 @@ func CheckRaces(main *isa.Program, helpers []*isa.Program, relaxed bool) []Findi
 				continue
 			}
 			for _, hw := range helperWrites[h] {
-				if conflict(mw, hw) {
+				if conflict(mw, hw, patMain, pats[h]) {
 					out = append(out, finding("race", main, mw.pc, sev,
 						"write to %s races with helper %d (%s) write at pc %d to %s; partition the range or use atomicadd",
 						describe(mw), h, helpers[h].Name, hw.pc, describe(hw)))
@@ -164,7 +196,7 @@ func CheckRaces(main *isa.Program, helpers []*isa.Program, relaxed bool) []Findi
 			}
 			for _, w1 := range helperWrites[h1] {
 				for _, w2 := range helperWrites[h2] {
-					if conflict(w1, w2) {
+					if conflict(w1, w2, pats[h1], pats[h2]) {
 						out = append(out, finding("race", helpers[h1], w1.pc, sev,
 							"helper %d (%s) write to %s races with helper %d (%s) write at pc %d to %s",
 							h1, helpers[h1].Name, describe(w1), h2, helpers[h2].Name, w2.pc, describe(w2)))

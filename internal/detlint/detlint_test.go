@@ -1,0 +1,137 @@
+package detlint
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const badSrc = `package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+type table struct {
+	rows map[int]int
+}
+
+func clock() int64 { return time.Now().UnixNano() }
+
+func draw() int { return rand.Intn(6) }
+
+func drawLocal(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6) // method on a local generator: fine
+}
+
+func sum(t *table) int {
+	s := 0
+	for _, v := range t.rows {
+		s += v
+	}
+	m := make(map[string]bool)
+	for k := range m {
+		_ = k
+	}
+	//detlint:ignore keys are sorted immediately below
+	for k := range m {
+		_ = k
+	}
+	xs := []int{1, 2, 3}
+	for _, x := range xs { // slice range: fine
+		s += x
+	}
+	return s
+}
+`
+
+func TestSourceFlagsNondeterminism(t *testing.T) {
+	fs, err := Source("bad.go", []byte(badSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, f := range fs {
+		count[f.Rule]++
+	}
+	if count["time-now"] != 1 {
+		t.Errorf("time-now findings: %d, want 1 (%v)", count["time-now"], fs)
+	}
+	if count["global-rand"] != 1 {
+		t.Errorf("global-rand findings: %d, want 1 — the local generator must not be flagged (%v)", count["global-rand"], fs)
+	}
+	if count["map-range"] != 2 {
+		t.Errorf("map-range findings: %d, want 2 — field + make, with the ignored one waived (%v)", count["map-range"], fs)
+	}
+}
+
+func TestSourceCleanFile(t *testing.T) {
+	src := `package good
+
+import "math/rand"
+
+func draw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+`
+	fs, err := Source("good.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean file produced findings: %v", fs)
+	}
+}
+
+func TestImportRename(t *testing.T) {
+	src := `package renamed
+
+import (
+	mrand "math/rand"
+	clock "time"
+)
+
+func f() int64 { return clock.Now().UnixNano() + int64(mrand.Int()) }
+`
+	fs, err := Source("renamed.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]bool{}
+	for _, f := range fs {
+		rules[f.Rule] = true
+	}
+	if !rules["time-now"] || !rules["global-rand"] {
+		t.Fatalf("renamed imports escaped the lint: %v", fs)
+	}
+}
+
+// TestSimulatorPackagesDeterministic is the tier-1 enforcement: the
+// timing-critical packages must stay free of wall-clock reads, global
+// rand draws, and map-order-dependent iteration.
+func TestSimulatorPackagesDeterministic(t *testing.T) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source tree")
+	}
+	root := filepath.Dir(filepath.Dir(thisFile)) // internal/
+	var dirs []string
+	for _, p := range []string{"sim", "cpu", "cache", "fault"} {
+		dirs = append(dirs, filepath.Join(root, p))
+	}
+	fs, err := Dirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		var b strings.Builder
+		for _, f := range fs {
+			b.WriteString("\n  " + f.String())
+		}
+		t.Errorf("determinism lint findings in simulator packages:%s", b.String())
+	}
+}

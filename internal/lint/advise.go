@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/workloads"
+)
+
+// Recommendation names, in increasing helper-thread commitment.
+const (
+	RecNone  = "none"       // run the baseline: no helper pays for itself
+	RecSMT   = "smt-openmp" // give the SMT context to a real parallel thread
+	RecGhost = "ghost"      // issue a ghost thread for the best target
+)
+
+// TargetAdvice is the static verdict for one annotated target load.
+type TargetAdvice struct {
+	PC    int    `json:"pc"`
+	Loop  string `json:"loop"`            // annotated loop name, if any
+	Class string `json:"class"`           // stride-class name
+	Depth int    `json:"depth,omitempty"` // indirect depth
+
+	Stride    int64 `json:"stride,omitempty"`
+	Footprint int64 `json:"footprint"` // address-interval width in words; -1 = unbounded
+
+	BodyLen    int     `json:"body_len"`
+	SliceLen   int     `json:"slice_len"`
+	ChainDepth int     `json:"chain_depth"`
+	MissRate   float64 `json:"miss_rate"`
+	Lead       float64 `json:"lead"`
+	Benefit    float64 `json:"benefit"`
+
+	RecommendGhost bool `json:"recommend_ghost"`
+}
+
+// WorkloadAdvice is the static advice for one workload: every annotated
+// target classified and costed, plus the ghost/SMT/no-helper call.
+type WorkloadAdvice struct {
+	Workload  string         `json:"workload"`
+	Targets   []TargetAdvice `json:"targets"`
+	Recommend string         `json:"recommend"`
+	// InnerTrips is the builder's inner-loop trip estimate fed to the
+	// cost model (0 = none); Regions the distinct target loops a single
+	// ghost thread would have to serve.
+	InnerTrips float64 `json:"inner_trips,omitempty"`
+	Regions    int     `json:"regions,omitempty"`
+	// Score is the best target's benefit — the value the validation
+	// experiment rank-correlates against measured speedups.
+	Score float64 `json:"score"`
+	// HasGhost / HasParallel report which hand-written variants exist,
+	// for the SMT fallback (paper §4.1: replace the parallelization
+	// thread by a ghost thread only where a target qualifies).
+	HasGhost    bool `json:"has_ghost"`
+	HasParallel bool `json:"has_parallel"`
+}
+
+// Advise runs the static advice passes for one registered workload: the
+// address-pattern analysis classifies every annotated target load of the
+// baseline program, the cost model scores each, and the paper's decision
+// shape maps the best score to a recommendation. Purely static — no
+// profiling, no simulation.
+func Advise(name string, opts Options, cp analysis.CostParams) (*WorkloadAdvice, error) {
+	build, err := workloads.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	wopts := workloads.ProfileOptions()
+	if opts.Scale == workloads.ScaleEval {
+		wopts = workloads.DefaultOptions()
+	}
+	inst := build(wopts)
+
+	adv := &WorkloadAdvice{
+		Workload:    name,
+		Recommend:   RecNone,
+		HasGhost:    inst.Ghost != nil,
+		HasParallel: inst.Parallel != nil,
+	}
+
+	base := inst.Baseline.Main
+	targets := StaticTargets(base)
+	if len(targets) > 0 {
+		pt := analysis.AnalyzeAddrPatterns(base)
+		regions := map[int]bool{}
+		for _, t := range targets {
+			regions[t.LoopID] = true
+		}
+		hints := analysis.CostHints{InnerTrips: inst.InnerTrips, Regions: len(regions)}
+		adv.InnerTrips = hints.InnerTrips
+		adv.Regions = hints.Regions
+		for _, t := range targets {
+			lc := analysis.GhostBenefit(pt, t.LoadPC, cp, hints)
+			ta := TargetAdvice{
+				PC:             t.LoadPC,
+				Class:          lc.Pattern.Class.String(),
+				Depth:          lc.Pattern.IndirectDepth,
+				Stride:         lc.Pattern.Stride,
+				Footprint:      footprintWidth(lc.Pattern.Footprint),
+				BodyLen:        lc.BodyLen,
+				SliceLen:       lc.SliceLen,
+				ChainDepth:     lc.Pattern.ChainDepth,
+				MissRate:       lc.MissRate,
+				Lead:           lc.Lead,
+				Benefit:        lc.Benefit,
+				RecommendGhost: lc.RecommendGhost,
+			}
+			if l := base.InnermostLoop(t.LoadPC); l != nil {
+				ta.Loop = l.Name
+			}
+			adv.Targets = append(adv.Targets, ta)
+			if lc.Benefit > adv.Score {
+				adv.Score = lc.Benefit
+			}
+			if lc.RecommendGhost {
+				adv.Recommend = RecGhost
+			}
+		}
+		sort.Slice(adv.Targets, func(i, j int) bool { return adv.Targets[i].PC < adv.Targets[j].PC })
+	}
+	if adv.Recommend != RecGhost && inst.Parallel != nil {
+		adv.Recommend = RecSMT
+	}
+	return adv, nil
+}
+
+// AdviseAll runs Advise over every registered workload, in name order.
+func AdviseAll(opts Options, cp analysis.CostParams) ([]*WorkloadAdvice, error) {
+	var out []*WorkloadAdvice
+	for _, e := range workloads.Entries() {
+		adv, err := Advise(e.Name, opts, cp)
+		if err != nil {
+			return nil, fmt.Errorf("advise: %s: %w", e.Name, err)
+		}
+		out = append(out, adv)
+	}
+	return out, nil
+}
+
+// footprintWidth renders an address interval as a width in words, with
+// -1 for unbounded (Top or saturated) intervals.
+func footprintWidth(iv analysis.Interval) int64 {
+	if iv.IsTop() {
+		return -1
+	}
+	w := iv.Hi - iv.Lo + 1
+	if w <= 0 {
+		return -1 // saturated arithmetic: effectively unbounded
+	}
+	return w
+}

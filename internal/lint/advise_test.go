@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/workloads"
+)
+
+// TestAdviseSweepClassesTotal runs the advice pass over every registered
+// workload and checks the classification is total: every annotated
+// target lands in one of the five stride classes — "unknown" is not an
+// answer the taxonomy may give.
+func TestAdviseSweepClassesTotal(t *testing.T) {
+	advs, err := AdviseAll(Options{}, analysis.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(advs), len(workloads.Entries()); got != want {
+		t.Fatalf("advice for %d workloads, registry has %d", got, want)
+	}
+	valid := map[string]bool{
+		"invariant": true, "affine": true, "computed": true,
+		"indirect": true, "pointer-chase": true,
+	}
+	for _, adv := range advs {
+		for _, ta := range adv.Targets {
+			if !valid[ta.Class] {
+				t.Errorf("%s pc %d: class %q outside the taxonomy", adv.Workload, ta.PC, ta.Class)
+			}
+		}
+		switch adv.Recommend {
+		case RecNone, RecSMT, RecGhost:
+		default:
+			t.Errorf("%s: recommendation %q outside the vocabulary", adv.Workload, adv.Recommend)
+		}
+	}
+}
+
+// TestAdviseKnownShapes pins the classification of the structurally
+// distinctive workloads: the pointer-walk benchmarks are indirect, the
+// arithmetic camel variant is computed (helpable by inline prefetching,
+// not worth a ghost), triangle counting's binary search is a pointer
+// chase, and the graph kernels carry their known indirection depths.
+func TestAdviseKnownShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		class string
+		depth int
+	}{
+		{"camel", "indirect", 1},
+		{"camel-par", "computed", 0},
+		{"hj8", "indirect", 1},
+		{"tc.road", "pointer-chase", 0},
+		{"bfs.road", "indirect", 3},
+		{"sssp.road", "indirect", 3},
+		{"pr.road", "indirect", 2},
+	}
+	for _, c := range cases {
+		adv, err := Advise(c.name, Options{}, analysis.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(adv.Targets) == 0 {
+			t.Errorf("%s: no targets", c.name)
+			continue
+		}
+		ta := adv.Targets[0]
+		if ta.Class != c.class || ta.Depth != c.depth {
+			t.Errorf("%s: class %s depth %d, want %s depth %d", c.name, ta.Class, ta.Depth, c.class, c.depth)
+		}
+	}
+
+	// kangaroo chains two targets: the hop table at depth 1 feeds the
+	// landing load at depth 2.
+	adv, err := Advise("kangaroo", Options{}, analysis.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := map[int]bool{}
+	for _, ta := range adv.Targets {
+		if ta.Class != "indirect" {
+			t.Errorf("kangaroo target pc %d: class %s, want indirect", ta.PC, ta.Class)
+		}
+		depths[ta.Depth] = true
+	}
+	if !depths[1] || !depths[2] {
+		t.Errorf("kangaroo indirect depths %v, want both 1 and 2", depths)
+	}
+
+	// A pointer chase must never earn a ghost recommendation.
+	for _, name := range []string{"tc.road", "tc.kron"} {
+		adv, err := Advise(name, Options{}, analysis.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv.Recommend == RecGhost {
+			t.Errorf("%s: pointer-chase workload recommended for a ghost", name)
+		}
+	}
+}

@@ -93,11 +93,11 @@ func Workload(name string, opts Options) (*analysis.Report, error) {
 				Severity: analysis.SevError, Msg: err.Error(),
 			})
 		case opts.Minimality:
-			rep.Add(analysis.ReportMinimality(ext.Ghost)...)
+			rep.Add(analysis.ReportMinimalityVs(ext.Ghost, ext.Main)...)
 		}
 	}
 
-	rep.Sort()
+	rep.Dedupe()
 	return rep, nil
 }
 

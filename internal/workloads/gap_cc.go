@@ -259,9 +259,10 @@ func NewCC(graphName string, opts Options) *Instance {
 	}
 
 	return &Instance{
-		Name:     name,
-		Mem:      mm,
-		Counters: d.counters(),
+		Name:       name,
+		Mem:        mm,
+		Counters:   d.counters(),
+		InnerTrips: float64(d.g.Edges()) / float64(d.g.N),
 		Check: combineChecks(
 			checkWord(d.out, wantSum, name+" label checksum"),
 			checkWords(compA, wantComp, name+" comp"),
