@@ -1,7 +1,7 @@
 GO ?= go
 TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint detlint advise-smoke bench-smoke trace-smoke fault-smoke ci
+.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke trace-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race detector is ~10x; the differential sweeps need more than the
+# default 10m per-package timeout on slower machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Static analysis sweep: every registered workload x variant through the
 # verifier battery (exit 1 on any error-severity finding).
@@ -34,6 +36,24 @@ detlint:
 advise-smoke:
 	$(GO) run ./cmd/gtadvise -all -json > ADVISE_all.json
 	diff -u testdata/advise_golden.json ADVISE_all.json
+
+# Verification smoke: translation validation over every registered
+# workload's manual ghost. gtverify itself exits 1 on any UNPROVED
+# verdict; the diff catches silent drift in verdict details (lead
+# distances, skip PCs, unfold labels) and the grep is a belt-and-braces
+# re-check of the zero-UNPROVED invariant. Re-bless after a reviewed
+# change with `make advise-golden`.
+verify-smoke:
+	$(GO) run ./cmd/gtverify -all -json > VERIFY_all.json
+	diff -u testdata/verify_golden.json VERIFY_all.json
+	@! grep -q '"UNPROVED"' VERIFY_all.json
+
+# Golden regeneration: re-bless the static-analysis goldens (advisor
+# output and translation-validation verdicts) after a reviewed behavior
+# change. Inspect the diff before committing.
+advise-golden:
+	$(GO) run ./cmd/gtadvise -all -json > testdata/advise_golden.json
+	$(GO) run ./cmd/gtverify -all -json > testdata/verify_golden.json
 
 # Perf smoke: figure 3 plus a 4-workload figure-6 slice with throughput
 # metrics, so simulator-speed regressions surface in tier-1. The JSON
@@ -63,4 +83,4 @@ fault-smoke:
 	@grep -q '"level":"panic"' FAULT_resilience.json
 	@grep -q '"workload":"camel".*"check_ok":true' FAULT_resilience.json
 
-ci: vet build race lint detlint advise-smoke bench-smoke trace-smoke fault-smoke
+ci: vet build race lint detlint advise-smoke verify-smoke bench-smoke trace-smoke fault-smoke

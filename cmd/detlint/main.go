@@ -16,10 +16,16 @@ import (
 	"ghostthread/internal/detlint"
 )
 
-// defaultDirs are the packages whose behavior feeds simulated timing:
-// any nondeterminism here breaks replayable experiments.
+// defaultDirs are the packages whose behavior feeds simulated timing or
+// experiment output: any nondeterminism here breaks replayable
+// experiments. internal/harness and internal/lint produce the golden
+// files and sweep reports the CI diffs, so their iteration order and
+// clocks are held to the same standard (with explicit
+// "//detlint:ignore" waivers where wall-clock use is intentional, e.g.
+// throughput metrics).
 var defaultDirs = []string{
 	"internal/sim", "internal/cpu", "internal/cache", "internal/fault",
+	"internal/harness", "internal/lint",
 }
 
 func main() {

@@ -160,6 +160,11 @@ type Core struct {
 	id         uint8 // core id stamped into trace events
 	ghostStart int64 // spawn-dispatch cycle of the live helper (tracing)
 
+	// Shadow oracle (nil = off; see shadow.go). Taps sit in dispatch,
+	// which only runs at stepped cycles, so the counters are identical
+	// across stepping modes; the oracle never feeds back into timing.
+	shadow *shadowOracle
+
 	// Fault injection (nil = off; see internal/fault). Draw points are
 	// event processing, dispatch, and issue — all of which run at the same
 	// cycles under per-cycle stepping and event skipping, so a faulted run
@@ -888,6 +893,9 @@ func (c *Core) dispatchOne(t *thread) bool {
 			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: load at %d", t.prog.Name, t.id, t.pc, e.addr)
 			return false
 		}
+		if c.shadow != nil && t.id == 0 {
+			c.shadow.demand(e.addr)
+		}
 		v := c.mem.LoadWord(e.addr)
 		if c.fault != nil && t.id == 1 &&
 			in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync {
@@ -909,8 +917,13 @@ func (c *Core) dispatchOne(t *thread) bool {
 		t.sq++
 	case isa.OpPrefetch:
 		// Prefetches to unmapped addresses are dropped, as on real
-		// hardware; clamp so the cache model sees a harmless line.
+		// hardware; clamp so the cache model sees a harmless line. The
+		// shadow oracle sees the raw address — an unmapped prefetch is
+		// precisely the divergence it exists to catch.
 		e.addr = t.regs[in.Src1] + in.Imm
+		if c.shadow != nil && t.id == 1 {
+			c.shadow.prefetch(e.addr)
+		}
 		if e.addr < 0 || e.addr >= c.mem.Size() {
 			e.addr = 0
 		}
@@ -920,6 +933,9 @@ func (c *Core) dispatchOne(t *thread) bool {
 		if e.addr < 0 || e.addr >= c.mem.Size() {
 			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: atomic at %d", t.prog.Name, t.id, t.pc, e.addr)
 			return false
+		}
+		if c.shadow != nil && t.id == 0 {
+			c.shadow.demand(e.addr)
 		}
 		v := c.mem.LoadWord(e.addr) + t.regs[in.Src2]
 		c.mem.StoreWord(e.addr, v)

@@ -68,6 +68,40 @@ func TestSourceFlagsNondeterminism(t *testing.T) {
 	}
 }
 
+// TestIgnoreWaivers pins both accepted waiver placements — the comment
+// line above the flagged statement and a trailing comment on the
+// statement itself — and that a waiver only covers its own line, not
+// the whole file.
+func TestIgnoreWaivers(t *testing.T) {
+	src := `package waived
+
+import "time"
+
+func above() int64 {
+	//detlint:ignore wall clock feeds a host-side throughput metric only
+	return time.Now().UnixNano()
+}
+
+func trailing() int64 {
+	return time.Now().UnixNano() //detlint:ignore same-line waiver
+}
+
+func unwaived() int64 {
+	return time.Now().UnixNano()
+}
+`
+	fs, err := Source("waived.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly the unwaived time.Now", fs)
+	}
+	if fs[0].Rule != "time-now" || fs[0].Pos.Line != 15 {
+		t.Errorf("surviving finding = %v, want time-now at line 15 (the unwaived call)", fs[0])
+	}
+}
+
 func TestSourceCleanFile(t *testing.T) {
 	src := `package good
 
@@ -120,7 +154,7 @@ func TestSimulatorPackagesDeterministic(t *testing.T) {
 	}
 	root := filepath.Dir(filepath.Dir(thisFile)) // internal/
 	var dirs []string
-	for _, p := range []string{"sim", "cpu", "cache", "fault"} {
+	for _, p := range []string{"sim", "cpu", "cache", "fault", "harness", "lint"} {
 		dirs = append(dirs, filepath.Join(root, p))
 	}
 	fs, err := Dirs(dirs)

@@ -38,6 +38,11 @@ type AdviseRow struct {
 	Score     float64 `json:"score"`
 	Recommend string  `json:"recommend"`
 
+	// Verdict is the translation validator's status for the workload's
+	// manual ghost helpers (gtverify): PROVED / PROVED-MODULO-SYNC /
+	// UNPROVED, or "no-ghost" when no hand-written ghost exists.
+	Verdict string `json:"verdict,omitempty"`
+
 	// Measured side: which ghost program was run ("manual" when the
 	// workload ships a hand-written ghost variant, "compiler" when one is
 	// extracted from the annotated baseline, "none" when neither exists),
@@ -136,6 +141,17 @@ func adviseOne(name string, cfg sim.Config) AdviseRow {
 	row.Score = adv.Score
 	row.Recommend = adv.Recommend
 	row.StaticGhost = adv.Recommend == lint.RecGhost
+
+	// Translation-validation verdict for the manual ghost (static only;
+	// profile scale is representative and cheap).
+	switch wv, err := lint.Verify(name, lint.VerifyOptions{}); {
+	case err != nil:
+		row.Verdict = "err: " + err.Error()
+	case wv.NoGhost:
+		row.Verdict = "no-ghost"
+	default:
+		row.Verdict = wv.Status.String()
+	}
 	best := 0.0
 	for _, t := range adv.Targets {
 		if t.Benefit >= best {
@@ -251,8 +267,8 @@ func ranks(vals []float64) []float64 {
 
 // RenderAdvise formats the agreement table.
 func RenderAdvise(sum *AdviseSummary) string {
-	out := fmt.Sprintf("%-14s %-14s %-10s %8s %-10s %9s  %s\n",
-		"workload", "class", "static", "score", "ghost", "speedup", "agree")
+	out := fmt.Sprintf("%-14s %-14s %-10s %8s %-10s %9s %-19s  %s\n",
+		"workload", "class", "static", "score", "ghost", "speedup", "verdict", "agree")
 	for _, r := range sum.Rows {
 		mark := "yes"
 		if !r.Agree {
@@ -261,8 +277,8 @@ func RenderAdvise(sum *AdviseSummary) string {
 		if r.Err != "" {
 			mark = "err: " + r.Err
 		}
-		out += fmt.Sprintf("%-14s %-14s %-10s %8.3f %-10s %9.3f  %s\n",
-			r.Workload, r.Class, r.Recommend, r.Score, r.GhostKind, r.GhostSpeedup, mark)
+		out += fmt.Sprintf("%-14s %-14s %-10s %8.3f %-10s %9.3f %-19s  %s\n",
+			r.Workload, r.Class, r.Recommend, r.Score, r.GhostKind, r.GhostSpeedup, r.Verdict, mark)
 	}
 	out += fmt.Sprintf("agreement: %d/%d (%.0f%%), spearman rho %.2f, threshold %.2fx\n",
 		sum.Agreements, sum.Workloads, 100*sum.Accuracy, sum.SpearmanRho, sum.Threshold)

@@ -122,6 +122,7 @@ func Figure9(progress func(string)) (*Fig9Result, error) {
 			}
 			speed[TechGhost] = append(speed[TechGhost], float64(base)/float64(c))
 		}
+		//detlint:ignore keyed assignment into Geomean[tech]; iteration order cannot reach the output
 		for tech, vals := range speed {
 			res.Geomean[tech][cores] = Geomean(vals)
 		}

@@ -86,6 +86,7 @@ type profKey struct {
 	sampleEvery int64
 	cycleStep   bool
 	fault       fault.Config
+	shadow      sim.ShadowConfig
 }
 
 type profEntry struct {
@@ -125,6 +126,7 @@ func profileWorkload(workload string, build workloads.Builder, cfg sim.Config) (
 		sampleEvery: cfg.SampleEvery,
 		cycleStep:   cfg.CycleStep,
 		fault:       cfg.Fault,
+		shadow:      cfg.Shadow,
 	}
 	profMu.Lock()
 	e := profCache[key]
@@ -312,7 +314,11 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 // segfaults the paper reports for sssp) surface as errors → 'x' ticks.
 func runCompilerGhost(build workloads.Builder, opts workloads.Options, targets []core.Target, cfg sim.Config) (sim.Result, error) {
 	inst := build(opts)
-	ext, err := slice.Extract(inst.Baseline.Main, targets, opts.Sync, inst.Counters)
+	// AllowUnproved: the paper runs compiler slices even when translation
+	// validation cannot prove the address stream (they simply prefetch
+	// badly); gtlint/gtverify surface the UNPROVED verdicts separately.
+	ext, err := slice.ExtractWith(inst.Baseline.Main, targets, opts.Sync, inst.Counters,
+		slice.Options{AllowUnproved: true})
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("extraction: %w", err)
 	}
@@ -380,7 +386,7 @@ func RunMatrixWorkers(names []string, machine string, cfg sim.Config, workers in
 	if workers > len(names) && len(names) > 0 {
 		workers = len(names)
 	}
-	start := time.Now()
+	start := time.Now() //detlint:ignore host throughput metric (wall_seconds); never feeds simulated state
 	rows := make([]*Row, len(names))
 	errs := make([]error, len(names))
 	var progressMu sync.Mutex

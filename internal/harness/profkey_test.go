@@ -22,6 +22,7 @@ var profKeyField = map[string]string{
 	"SampleEvery": "sampleEvery",
 	"CycleStep":   "cycleStep",
 	"Fault":       "fault",
+	"Shadow":      "shadow",
 }
 
 func TestProfKeyCoversSimConfig(t *testing.T) {

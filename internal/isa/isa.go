@@ -214,6 +214,21 @@ type Program struct {
 	Loops []Loop
 }
 
+// FlagError reports a misuse of an instruction-flag annotation found by
+// Validate. It is a typed error so passes that synthesize flags (the
+// sync inserter, the slicer, fuzzers) can match the class of misuse
+// with errors.As instead of parsing the message.
+type FlagError struct {
+	Program string
+	PC      int  // offending instruction index, or -1 for loop-level misuse
+	Flag    Flag // the misused flag
+	Reason  string
+}
+
+func (e *FlagError) Error() string {
+	return fmt.Sprintf("isa: %q pc=%d: flag [%s]: %s", e.Program, e.PC, flagString(e.Flag), e.Reason)
+}
+
 // InnermostLoop returns the innermost loop containing instruction index
 // pc, or nil.
 func (p *Program) InnermostLoop(pc int) *Loop {
@@ -264,6 +279,11 @@ func (p *Program) Validate() error {
 		if in.Op == OpSerialize && (in.Dst != 0 || in.Src1 != 0 || in.Src2 != 0 || in.Imm != 0 || in.Target != 0) {
 			return fmt.Errorf("isa: %q pc=%d: serialize takes no operands", p.Name, i)
 		}
+		if in.HasFlag(FlagSyncSkip) {
+			if err := p.checkSyncSkip(i, in); err != nil {
+				return err
+			}
+		}
 		if lid := in.Loop; lid >= 0 {
 			if int(lid) >= len(p.Loops) {
 				return fmt.Errorf("isa: %q pc=%d: loop id %d out of range", p.Name, i, lid)
@@ -277,6 +297,9 @@ func (p *Program) Validate() error {
 	}
 	if !haltSeen {
 		return fmt.Errorf("isa: program %q has no halt", p.Name)
+	}
+	if err := p.checkSyncSkipRuns(); err != nil {
+		return err
 	}
 	seenLoopIDs := make(map[int]int, len(p.Loops))
 	for i := range p.Loops {
@@ -299,6 +322,60 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("isa: %q loop %d (%s): backedge %d is not a branch", p.Name, l.ID, l.Name, l.Backedge)
 			}
 		}
+	}
+	return nil
+}
+
+// checkSyncSkip enforces the per-instruction FlagSyncSkip rules. The
+// catch-up skip is defined as part of a synchronization segment
+// (paper §4.3.1): it fast-forwards the ghost's private induction state
+// inside a loop, so a skip instruction must also carry FlagSync, must
+// sit inside an annotated loop, and must not mutate architectural state
+// beyond registers — the translation validator erases skip self-updates
+// when proving address equivalence modulo sync, and that erasure is
+// only sound for pure register arithmetic.
+func (p *Program) checkSyncSkip(pc int, in *Instr) error {
+	if !in.HasFlag(FlagSync) {
+		return &FlagError{Program: p.Name, PC: pc, Flag: FlagSyncSkip,
+			Reason: "skip instruction outside a synchronization segment (missing FlagSync)"}
+	}
+	if in.Loop < 0 {
+		return &FlagError{Program: p.Name, PC: pc, Flag: FlagSyncSkip,
+			Reason: "skip instruction outside any annotated loop; the catch-up skip advances loop induction state"}
+	}
+	switch in.Op {
+	case OpStore, OpAtomicAdd, OpSpawn, OpJoin, OpHalt, OpSerialize:
+		return &FlagError{Program: p.Name, PC: pc, Flag: FlagSyncSkip,
+			Reason: fmt.Sprintf("skip on %s: the validator erases skip effects, which is unsound for state-mutating instructions", in.Op)}
+	}
+	return nil
+}
+
+// checkSyncSkipRuns enforces that each loop carries at most one
+// contiguous run of FlagSyncSkip instructions: the sync inserter emits
+// the catch-up skip as a single block, and the symbolic erasure treats
+// it as one atomic identity — two disjoint runs in the same loop would
+// mean two competing catch-up points.
+func (p *Program) checkSyncSkipRuns() error {
+	type run struct{ first, last int }
+	runs := map[int32]run{}
+	for i := range p.Code {
+		in := &p.Code[i]
+		if !in.HasFlag(FlagSyncSkip) || in.Loop < 0 {
+			continue
+		}
+		r, seen := runs[in.Loop]
+		if !seen {
+			runs[in.Loop] = run{first: i, last: i}
+			continue
+		}
+		if i != r.last+1 {
+			return &FlagError{Program: p.Name, PC: i, Flag: FlagSyncSkip,
+				Reason: fmt.Sprintf("second skip run in loop %d (first run ends at pc=%d); each loop gets one contiguous catch-up skip",
+					in.Loop, r.last)}
+		}
+		r.last = i
+		runs[in.Loop] = r
 	}
 	return nil
 }

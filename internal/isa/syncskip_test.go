@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+)
+
+// skipProg assembles a one-loop program by hand so each test can place
+// FlagSyncSkip exactly where it wants; mark receives the mutable code
+// slice after the canonical shape is laid down.
+//
+//	0: const r1, 0
+//	1: addi  r1, r1, 1   (loop 0)
+//	2: addi  r2, r2, 8   (loop 0)
+//	3: store [r3+0], r1  (loop 0)
+//	4: blt   r1, r4 -> 1 (loop 0, backedge)
+//	5: halt
+func skipProg(mark func(code []Instr)) *Program {
+	p := &Program{
+		Name: "skip-test",
+		Code: []Instr{
+			{Op: OpConst, Dst: 1, Loop: -1},
+			{Op: OpAddI, Dst: 1, Src1: 1, Imm: 1, Loop: 0},
+			{Op: OpAddI, Dst: 2, Src1: 2, Imm: 8, Loop: 0},
+			{Op: OpStore, Src1: 3, Src2: 1, Loop: 0},
+			{Op: OpBLT, Src1: 1, Src2: 4, Target: 1, Flags: FlagBackedge, Loop: 0},
+			{Op: OpHalt, Loop: -1},
+		},
+		Loops: []Loop{{ID: 0, Name: "L", Parent: -1, Head: 1, End: 5, Backedge: 4}},
+	}
+	mark(p.Code)
+	return p
+}
+
+func wantFlagError(t *testing.T, err error, pc int) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("Validate accepted a misused FlagSyncSkip")
+	}
+	var fe *FlagError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error is not a *FlagError: %v", err)
+	}
+	if fe.Flag != FlagSyncSkip {
+		t.Errorf("FlagError.Flag = %v, want FlagSyncSkip", fe.Flag)
+	}
+	if fe.PC != pc {
+		t.Errorf("FlagError.PC = %d, want %d (err: %v)", fe.PC, pc, err)
+	}
+}
+
+func TestSyncSkipValid(t *testing.T) {
+	p := skipProg(func(code []Instr) {
+		code[1].Flags |= FlagSync | FlagSyncSkip
+		code[2].Flags |= FlagSync | FlagSyncSkip
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("contiguous in-loop skip run rejected: %v", err)
+	}
+}
+
+func TestSyncSkipRequiresSync(t *testing.T) {
+	p := skipProg(func(code []Instr) {
+		code[1].Flags |= FlagSyncSkip // no FlagSync
+	})
+	wantFlagError(t, p.Validate(), 1)
+}
+
+func TestSyncSkipOutsideLoop(t *testing.T) {
+	p := skipProg(func(code []Instr) {
+		code[0].Flags |= FlagSync | FlagSyncSkip // const sits outside the loop
+	})
+	wantFlagError(t, p.Validate(), 0)
+}
+
+func TestSyncSkipOnStateMutatingOp(t *testing.T) {
+	p := skipProg(func(code []Instr) {
+		code[3].Flags |= FlagSync | FlagSyncSkip // the store
+	})
+	wantFlagError(t, p.Validate(), 3)
+}
+
+func TestSyncSkipTwoRunsInOneLoop(t *testing.T) {
+	p := skipProg(func(code []Instr) {
+		code[1].Flags |= FlagSync | FlagSyncSkip
+		// pc 2 unflagged: the run at pc 3 is disjoint. Use the branch to
+		// stay clear of the state-mutation rule — flag pc 4 instead.
+		code[4].Flags |= FlagSync | FlagSyncSkip
+	})
+	wantFlagError(t, p.Validate(), 4)
+}

@@ -79,8 +79,13 @@ func Workload(name string, opts Options) (*analysis.Report, error) {
 
 	// Compiler extraction from the annotated baseline. The extractor runs
 	// the safety plan itself; an unsliceable program is merely reported.
+	// Extraction is permissive here (AllowUnproved) so the lint can
+	// surface translation-validation failures as findings instead of
+	// losing the slice: a compiler ghost with an unproven address stream
+	// still runs (the paper's §6.1 behaviour), it just prefetches badly.
 	if targets := StaticTargets(inst.Baseline.Main); len(targets) > 0 {
-		ext, err := slice.Extract(inst.Baseline.Main, targets, wopts.Sync, inst.Counters)
+		ext, err := slice.ExtractWith(inst.Baseline.Main, targets, wopts.Sync, inst.Counters,
+			slice.Options{AllowUnproved: true})
 		switch {
 		case errors.Is(err, slice.ErrUnsliceable):
 			rep.Add(analysis.Finding{
@@ -92,8 +97,32 @@ func Workload(name string, opts Options) (*analysis.Report, error) {
 				Checker: "extract", Program: inst.Baseline.Main.Name, PC: -1,
 				Severity: analysis.SevError, Msg: err.Error(),
 			})
-		case opts.Minimality:
-			rep.Add(analysis.ReportMinimalityVs(ext.Ghost, ext.Main)...)
+		default:
+			for _, v := range ext.Verdicts {
+				if v.Status != analysis.Unproved {
+					continue
+				}
+				for _, tv := range v.Targets {
+					if tv.Status != analysis.Unproved {
+						continue
+					}
+					rep.Add(analysis.Finding{
+						Checker: "verify", Program: ext.Ghost.Name, PC: tv.TargetPC,
+						Severity: analysis.SevWarn,
+						Msg: fmt.Sprintf("UNPROVED: %s (compiler slice runs but may prefetch off-stream)",
+							tv.Reason),
+					})
+				}
+				if v.Err != "" {
+					rep.Add(analysis.Finding{
+						Checker: "verify", Program: ext.Ghost.Name, PC: -1,
+						Severity: analysis.SevWarn, Msg: "UNPROVED: " + v.Err,
+					})
+				}
+			}
+			if opts.Minimality {
+				rep.Add(analysis.ReportMinimalityVs(ext.Ghost, ext.Main)...)
+			}
 		}
 	}
 

@@ -65,7 +65,8 @@ func TestAliasMinimalityOnlyAddsInfo(t *testing.T) {
 		if len(targets) == 0 {
 			continue
 		}
-		ext, err := slice.Extract(inst.Baseline.Main, targets, workloads.ProfileOptions().Sync, inst.Counters)
+		ext, err := slice.ExtractWith(inst.Baseline.Main, targets, workloads.ProfileOptions().Sync, inst.Counters,
+			slice.Options{AllowUnproved: true})
 		if err != nil {
 			if errors.Is(err, slice.ErrUnsliceable) {
 				continue

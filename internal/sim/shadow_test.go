@@ -1,0 +1,174 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+// shadowConfig returns the default machine with the shadow oracle on.
+func shadowConfig(cycleStep bool) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Shadow.Enabled = true
+	cfg.CycleStep = cycleStep
+	return cfg
+}
+
+// TestShadowRegistryZeroDivergent is the dynamic half of the paper's
+// safety argument: on every shipped ghost slice, the shadow oracle must
+// report zero divergent prefetches — every address the ghost prefetches
+// is one the main thread demands — in both stepping modes, with
+// identical counters. This is the runtime cross-check of the static
+// verdicts TestVerifyRegistryGhosts (internal/analysis) proves.
+func TestShadowRegistryZeroDivergent(t *testing.T) {
+	// Under the race detector the full sweep blows the test timeout;
+	// keep one workload per kernel family there (full registry coverage
+	// stays in the plain tier-1 run).
+	raceSubset := map[string]bool{
+		"camel": true, "hj8": true, "kangaroo": true, "bfs.kron": true,
+	}
+	for _, e := range workloads.Entries() {
+		if raceDetectorOn && !raceSubset[e.Name] {
+			continue
+		}
+		probe := e.Build(workloads.ProfileOptions())
+		if probe.Ghost == nil {
+			continue
+		}
+		var stats []sim.Result
+		for _, cycleStep := range []bool{false, true} {
+			inst := e.Build(workloads.ProfileOptions())
+			res, err := sim.RunProgram(shadowConfig(cycleStep), inst.Mem, inst.Ghost.Main, inst.Ghost.Helpers)
+			if err != nil {
+				t.Errorf("%s (CycleStep=%v): %v", e.Name, cycleStep, err)
+				continue
+			}
+			if err := inst.CheckFor("ghost")(inst.Mem); err != nil {
+				t.Errorf("%s (CycleStep=%v): result check: %v", e.Name, cycleStep, err)
+			}
+			if res.Shadow.Divergent != 0 {
+				t.Errorf("%s (CycleStep=%v): %d divergent ghost prefetches (confirmed=%d orphaned=%d)",
+					e.Name, cycleStep, res.Shadow.Divergent, res.Shadow.Confirmed, res.Shadow.Orphaned)
+			}
+			if res.Shadow.Checked() == 0 {
+				t.Errorf("%s (CycleStep=%v): shadow oracle judged no prefetches (vacuous)", e.Name, cycleStep)
+			}
+			stats = append(stats, res)
+		}
+		if len(stats) == 2 && !reflect.DeepEqual(stats[0].Shadow, stats[1].Shadow) {
+			t.Errorf("%s: shadow counters differ across stepping modes: skip=%+v cycle=%+v",
+				e.Name, stats[0].Shadow, stats[1].Shadow)
+		}
+	}
+}
+
+// TestShadowResultInvariance proves the oracle is observation-only: a
+// shadowed run's Result, minus the shadow counters, is bit-identical to
+// an unshadowed run's — in both stepping modes — and the shadowed run
+// itself is bit-identical across stepping modes.
+func TestShadowResultInvariance(t *testing.T) {
+	wls := []string{"camel", "hj8", "bfs.kron"}
+	if raceDetectorOn {
+		wls = wls[:1] // see TestShadowRegistryZeroDivergent
+	}
+	for _, wl := range wls {
+		build, err := workloads.Lookup(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(shadow, cycleStep bool) sim.Result {
+			inst := build(workloads.ProfileOptions())
+			cfg := sim.DefaultConfig()
+			cfg.Shadow.Enabled = shadow
+			cfg.CycleStep = cycleStep
+			res, err := sim.RunProgram(cfg, inst.Mem, inst.Ghost.Main, inst.Ghost.Helpers)
+			if err != nil {
+				t.Fatalf("%s (shadow=%v, CycleStep=%v): %v", wl, shadow, cycleStep, err)
+			}
+			return res
+		}
+		for _, cycleStep := range []bool{false, true} {
+			plain := run(false, cycleStep)
+			shadowed := run(true, cycleStep)
+			if shadowed.Shadow.Checked() == 0 {
+				t.Errorf("%s: oracle judged nothing; invariance test is vacuous", wl)
+			}
+			stripped := shadowed
+			stripped.Shadow = plain.Shadow // zero either way; isolate the rest
+			if !reflect.DeepEqual(stripped, plain) {
+				t.Errorf("%s (CycleStep=%v): shadow mode perturbed the Result\nplain:  %+v\nshadow: %+v",
+					wl, cycleStep, plain, shadowed)
+			}
+		}
+		ref := run(true, true)
+		opt := run(true, false)
+		assertEqualResults(t, wl+"(shadow)", "ghost", ref, opt)
+	}
+}
+
+// buildShadowPair emits a tiny main+ghost pair: the main walks a strided
+// array under a spawned helper; the helper prefetches with the given
+// stride. Equal strides give a sound slice; a larger ghost stride walks
+// off the main thread's address stream.
+func buildShadowPair(t *testing.T, mainStride, ghostStride int64) (*isa.Program, *isa.Program) {
+	t.Helper()
+	const base, iters = 4096, 64
+
+	mb := isa.NewBuilder("shadow-main")
+	zero, lim := mb.Imm(0), mb.Imm(iters)
+	addr, val, sum := mb.Reg(), mb.Reg(), mb.Reg()
+	mb.Const(sum, 0)
+	mb.Spawn(0)
+	mb.CountedLoop("walk", zero, lim, func(i isa.Reg) {
+		mb.MulI(addr, i, mainStride)
+		mb.Load(val, addr, base)
+		mb.MarkTarget()
+		mb.Add(sum, sum, val)
+	})
+	mb.Join()
+	out := mb.Imm(16)
+	mb.Store(out, 0, sum)
+	mb.Halt()
+
+	gb := isa.NewBuilder("shadow-ghost")
+	gzero, glim, gaddr := gb.Imm(0), gb.Imm(iters), gb.Reg()
+	gb.CountedLoop("walk", gzero, glim, func(i isa.Reg) {
+		gb.MulI(gaddr, i, ghostStride)
+		gb.Prefetch(gaddr, base)
+	})
+	gb.Halt()
+	return mb.MustBuild(), gb.MustBuild()
+}
+
+// TestShadowCatchesBrokenSlice is the dynamic counterpart of the static
+// validator's TestVerifyUnprovedWrongStride: a ghost walking stride 64
+// while the main thread demands stride 8 leaves most of its prefetched
+// lines undemanded, and the oracle must flag them divergent. The sound
+// pair with equal strides must stay clean.
+func TestShadowCatchesBrokenSlice(t *testing.T) {
+	run := func(mainStride, ghostStride int64, cycleStep bool) sim.Result {
+		main, ghost := buildShadowPair(t, mainStride, ghostStride)
+		m := mem.New(1 << 14)
+		res, err := sim.RunProgram(shadowConfig(cycleStep), m, main, []*isa.Program{ghost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, cycleStep := range []bool{false, true} {
+		good := run(8, 8, cycleStep)
+		if good.Shadow.Divergent != 0 || good.Shadow.Confirmed == 0 {
+			t.Errorf("sound slice (CycleStep=%v): %+v, want zero divergent and some confirmed",
+				cycleStep, good.Shadow)
+		}
+		broken := run(8, 64, cycleStep)
+		if broken.Shadow.Divergent == 0 {
+			t.Errorf("broken slice (CycleStep=%v): oracle reported no divergence: %+v",
+				cycleStep, broken.Shadow)
+		}
+	}
+}

@@ -44,6 +44,21 @@ type Config struct {
 	// memory image and main-thread architectural state are bit-identical
 	// to the fault-free run (sim's differential suite proves it).
 	Fault fault.Config
+
+	// Shadow enables the dynamic shadow oracle (see cpu/shadow.go): every
+	// ghost prefetch is cross-checked against the main context's demand
+	// stream and classified in Result.Shadow. Observation only — a
+	// shadowed run's Result is bit-identical minus the shadow counters.
+	Shadow ShadowConfig
+}
+
+// ShadowConfig configures the shadow oracle.
+type ShadowConfig struct {
+	Enabled bool
+	// Buffer is the per-core pending-prefetch capacity (0 selects
+	// cpu.DefaultShadowBuffer). Prefetches evicted from a full buffer
+	// before any demand arrives count as orphaned, not divergent.
+	Buffer int
 }
 
 // DefaultConfig returns the single-core idle-server machine.
@@ -101,6 +116,11 @@ func New(cfg Config, m *mem.Memory) *System {
 		h := cache.NewHierarchy(cfg.Hier, s.llc, s.mc)
 		s.cores[i] = cpu.New(cfg.CPU, h, m)
 		s.finishAt[i] = -1 // -1 = not finished; 0 is a valid finish cycle
+	}
+	if cfg.Shadow.Enabled {
+		for _, c := range s.cores {
+			c.SetShadow(cpu.NewShadow(cfg.Shadow.Buffer))
+		}
 	}
 	if cfg.Fault.Enabled() {
 		// Each core gets its own injector (independent per-core schedules);
@@ -167,6 +187,11 @@ type Result struct {
 	// Fault counts the faults actually injected, summed over cores (zero
 	// when injection is off; see fault.Stats).
 	Fault fault.Stats
+
+	// Shadow classifies ghost prefetches against the main demand stream,
+	// summed over cores (zero when Config.Shadow is off; see
+	// cpu.ShadowStats). Divergent must be zero for a sound p-slice.
+	Shadow cpu.ShadowStats
 }
 
 // PrefetchAccuracy is the fraction of executed software prefetches a
@@ -259,6 +284,7 @@ func (s *System) Run() (Result, error) {
 			res.PrefetchLevel[l] += c.PrefetchLevel[l]
 		}
 		res.Fault.Add(c.FaultStats())
+		res.Shadow.Add(c.ShadowStats())
 	}
 	res.MainCommitted = s.cores[0].Committed(0)
 	for _, c := range s.cores {

@@ -1,0 +1,106 @@
+package slice_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ghostthread/internal/isa"
+	"ghostthread/internal/lint"
+	"ghostthread/internal/slice"
+	"ghostthread/internal/workloads"
+)
+
+// FuzzExtract drives the compiler extractor (and, through it, the
+// translation validator) over every registry baseline with fuzzed loop
+// bounds and constants. The properties under test:
+//
+//   - Extract never panics, whatever the mutation does to the kernel;
+//   - when it succeeds, both output programs pass isa.Validate, the
+//     ghost is read-only, and extraction is deterministic;
+//   - the verdicts attached to the result are well-formed (rendering a
+//     counterexample must not panic either).
+//
+// Seeds are the 36 registered workloads, each in pristine form and with
+// a mutated loop bound (testdata/fuzz/FuzzExtract holds checked-in
+// regression inputs in the same shape).
+func FuzzExtract(f *testing.F) {
+	for _, e := range workloads.Entries() {
+		f.Add(e.Name, int64(0), uint16(0))
+		f.Add(e.Name, int64(7), uint16(3))
+	}
+	f.Fuzz(func(t *testing.T, name string, delta int64, pick uint16) {
+		build, err := workloads.Lookup(name)
+		if err != nil {
+			t.Skip("unknown workload")
+		}
+		wopts := workloads.ProfileOptions()
+		inst := build(wopts)
+		base := inst.Baseline.Main
+
+		// Mutate one constant (loop bounds are materialized as OpConst
+		// immediates in every registry kernel). build returns a fresh
+		// program, so in-place mutation is safe.
+		if delta != 0 {
+			var consts []int
+			for pc := range base.Code {
+				if base.Code[pc].Op == isa.OpConst && base.Code[pc].Imm != 0 {
+					consts = append(consts, pc)
+				}
+			}
+			if len(consts) > 0 {
+				base.Code[consts[int(pick)%len(consts)]].Imm += delta
+			}
+		}
+
+		targets := lint.StaticTargets(base)
+		ext, err := slice.ExtractWith(base, targets, wopts.Sync, inst.Counters,
+			slice.Options{AllowUnproved: true})
+		if err != nil {
+			// Refusing a mutated kernel is fine; crashing on one is not.
+			if errors.Is(err, slice.ErrUnsliceable) || errors.Is(err, slice.ErrUnproved) {
+				t.Skip(err)
+			}
+			t.Skipf("extract refused: %v", err)
+		}
+
+		if err := ext.Main.Validate(); err != nil {
+			t.Fatalf("extracted main invalid: %v", err)
+		}
+		if err := ext.Ghost.Validate(); err != nil {
+			t.Fatalf("extracted ghost invalid: %v", err)
+		}
+		if !isa.ReadOnly(ext.Ghost) {
+			t.Fatal("extracted ghost writes memory")
+		}
+		for _, v := range ext.Verdicts {
+			for _, tv := range v.Targets {
+				_ = tv.Status.String() // must render
+			}
+		}
+
+		// Determinism: a second extraction from an identical kernel must
+		// produce byte-identical programs.
+		inst2 := build(wopts)
+		base2 := inst2.Baseline.Main
+		if delta != 0 {
+			var consts []int
+			for pc := range base2.Code {
+				if base2.Code[pc].Op == isa.OpConst && base2.Code[pc].Imm != 0 {
+					consts = append(consts, pc)
+				}
+			}
+			if len(consts) > 0 {
+				base2.Code[consts[int(pick)%len(consts)]].Imm += delta
+			}
+		}
+		ext2, err := slice.ExtractWith(base2, lint.StaticTargets(base2), wopts.Sync, inst2.Counters,
+			slice.Options{AllowUnproved: true})
+		if err != nil {
+			t.Fatalf("second extraction failed where first succeeded: %v", err)
+		}
+		if !reflect.DeepEqual(ext.Ghost.Code, ext2.Ghost.Code) || !reflect.DeepEqual(ext.Main.Code, ext2.Main.Code) {
+			t.Fatal("extraction is nondeterministic")
+		}
+	})
+}

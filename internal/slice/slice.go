@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ghostthread/internal/analysis"
 	"ghostthread/internal/core"
 	"ghostthread/internal/isa"
 )
@@ -37,6 +38,22 @@ import (
 // thread: no targets, a malformed region, or not enough free registers.
 // Callers fall back to other techniques (errors.Is to detect).
 var ErrUnsliceable = errors.New("slice: program cannot be sliced")
+
+// ErrUnproved marks an extraction whose ghost failed translation
+// validation: the validator could not prove the ghost's prefetch
+// addresses replay the main thread's demand stream (errors.Is to
+// detect; Options.AllowUnproved bypasses the gate).
+var ErrUnproved = errors.New("slice: ghost not proven address-equivalent")
+
+// Options configures Extract.
+type Options struct {
+	// AllowUnproved skips the translation-validation gate: the extraction
+	// succeeds even when the validator cannot prove the ghost's address
+	// stream, reporting the verdicts in Result.Verdicts instead of
+	// failing. The default (false) rejects UNPROVED slices with
+	// ErrUnproved — an unproven ghost can prefetch garbage.
+	AllowUnproved bool
+}
 
 // Result is the output of an extraction.
 type Result struct {
@@ -47,13 +64,24 @@ type Result struct {
 	TargetLoop int // loop ID of the synchronised target loop
 	Kept       int // region instructions kept in the ghost
 	Dropped    int // region instructions dropped (stores, dead value code)
+
+	// Verdicts holds the translation-validation results for the extracted
+	// pair, one per spawn site (see analysis.VerifyHelper).
+	Verdicts []*analysis.Verdict
 }
 
-// Extract builds the compiler ghost for the given selected targets.
-// Targets must be non-empty; the loop of the highest-coverage target (the
-// first, per core.SelectTargets ordering) is synchronised, and its
-// outermost enclosing loop becomes the region.
+// Extract builds the compiler ghost for the given selected targets with
+// default options: the translation-validation gate is on, so an
+// extraction whose ghost cannot be proven address-equivalent fails with
+// ErrUnproved. Targets must be non-empty; the loop of the
+// highest-coverage target (the first, per core.SelectTargets ordering)
+// is synchronised, and its outermost enclosing loop becomes the region.
 func Extract(base *isa.Program, targets []core.Target, params core.SyncParams, ctr core.Counters) (*Result, error) {
+	return ExtractWith(base, targets, params, ctr, Options{})
+}
+
+// ExtractWith is Extract with explicit Options.
+func ExtractWith(base *isa.Program, targets []core.Target, params core.SyncParams, ctr core.Counters, opts Options) (*Result, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("%w: no targets selected for %q", ErrUnsliceable, base.Name)
 	}
@@ -98,6 +126,27 @@ func Extract(base *isa.Program, targets []core.Target, params core.SyncParams, c
 	}
 	res.Main = main
 	res.Ghost = ghost
+
+	// Translation validation: prove the ghost's prefetch addresses replay
+	// the main thread's demand stream (analysis/transval.go). UNPROVED
+	// slices are rejected unless the caller opts out — they still carry
+	// the verdicts for reporting.
+	res.Verdicts = analysis.VerifyHelper(main, ghost, 0)
+	if !opts.AllowUnproved {
+		for _, v := range res.Verdicts {
+			if v.Status != analysis.Unproved {
+				continue
+			}
+			reason := v.Err
+			for _, tv := range v.Targets {
+				if tv.Status == analysis.Unproved {
+					reason = tv.Reason
+					break
+				}
+			}
+			return nil, fmt.Errorf("%w: %q spawn@%d: %s", ErrUnproved, ghost.Name, v.SpawnPC, reason)
+		}
+	}
 	return res, nil
 }
 

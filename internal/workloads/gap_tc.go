@@ -233,6 +233,13 @@ func NewTC(graphName string, opts Options) *Instance {
 			b.Load(us, oa, 0)
 			ue := b.Reg()
 			b.Load(ue, oa, 1)
+			// Prefetch the binary search's first probe of N(u): every
+			// search over this u starts at the same midpoint.
+			um := b.Reg()
+			b.Add(um, us, ue)
+			b.ShrI(um, um, 1)
+			b.Add(um, neighR, um)
+			b.Prefetch(um, 0)
 			b.CountedLoop("tc_mid_g", us, ue, func(ei isa.Reg) {
 				na := b.Reg()
 				b.Add(na, neighR, ei)

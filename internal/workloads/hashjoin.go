@@ -298,8 +298,10 @@ func NewHashJoin(hashRounds int, opts Options) *Instance {
 			b.AndI(hh, hh, mask)
 			b.ShlI(hh, hh, 1)
 			b.Add(hh, hh, tableR)
+			// Only the chain head: a speculative next-line prefetch here
+			// would cover spilled chains but issues addresses the insert
+			// scan never touches, which the shadow oracle flags divergent.
 			b.Prefetch(hh, 0)
-			b.Prefetch(hh, 8)
 			core.EmitSync(b, st, func() {
 				b.AddI(i, i, st.Params.SkipStep)
 				core.AdvanceLocal(b, st, st.Params.SkipStep)
@@ -329,10 +331,13 @@ func NewHashJoin(hashRounds int, opts Options) *Instance {
 			b.AndI(hh, hh, mask)
 			b.ShlI(hh, hh, 1)
 			b.Add(hh, hh, tableR)
+			// The chain head only. Fetching the following line as well
+			// (for chains spilling across a line boundary) costs little,
+			// but at fill factor 0.5 most chains never spill, so those
+			// speculative lines are off the demand stream — the shadow
+			// oracle (cpu/shadow.go) flags them divergent. Precision wins:
+			// the p-slice must replay the main thread's address stream.
 			b.Prefetch(hh, 0)
-			// Also fetch the following line: linear-probe chains spill
-			// into it for slots near a line boundary.
-			b.Prefetch(hh, 8)
 			core.EmitSync(b, st, func() {
 				b.AddI(i, i, st.Params.SkipStep)
 				core.AdvanceLocal(b, st, st.Params.SkipStep)
