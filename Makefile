@@ -1,7 +1,7 @@
 GO ?= go
 TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke trace-smoke fault-smoke ci
+.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke profile-fig6 trace-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The race detector is ~10x; the differential sweeps need more than the
-# default 10m per-package timeout on slower machines.
+# The race detector is ~10x; the differential sweeps (internal/sim runs
+# ~21m under -race on a single-vCPU CI box, mode-equivalence cube
+# included) need far more than the default 10m per-package timeout.
 race:
-	$(GO) test -race -timeout 20m ./...
+	$(GO) test -race -timeout 40m ./...
 
 # Static analysis sweep: every registered workload x variant through the
 # verifier battery (exit 1 on any error-severity finding).
@@ -56,12 +57,25 @@ advise-golden:
 	$(GO) run ./cmd/gtverify -all -json > testdata/verify_golden.json
 
 # Perf smoke: figure 3 plus a 4-workload figure-6 slice with throughput
-# metrics, so simulator-speed regressions surface in tier-1. The JSON
-# trajectory (wall_seconds, sim_cycles_per_sec) lands in BENCH_fig6.json.
+# metrics, so simulator-speed regressions surface in tier-1. benchtraj
+# appends one {git_sha, sim_cycles_per_sec} entry to BENCH_fig6.json's
+# trajectory array (the file accumulates a perf history instead of being
+# overwritten) and exits 1 when throughput drops >30% below the previous
+# entry.
 bench-smoke:
 	$(GO) run ./cmd/ghostbench -experiment fig3
-	$(GO) run ./cmd/ghostbench -experiment fig6 -workloads camel,kangaroo,hj2,bfs.kron -json -quiet > BENCH_fig6.json
-	@grep -E '"(wall_seconds|sim_cycles_per_sec)"' BENCH_fig6.json
+	$(GO) run ./cmd/ghostbench -experiment fig6 -workloads camel,kangaroo,hj2,bfs.kron -json -quiet > BENCH_fig6.tmp.json
+	$(GO) run ./cmd/benchtraj -in BENCH_fig6.tmp.json -out BENCH_fig6.json -max-drop 0.30
+	@rm -f BENCH_fig6.tmp.json
+	@grep -E '"(git_sha|sim_cycles_per_sec)"' BENCH_fig6.json
+
+# Profiling entry point for perf work: the bench-smoke figure-6 slice
+# under the pprof CPU and heap profilers. Inspect with
+#   go tool pprof fig6.cpu.pprof
+profile-fig6:
+	$(GO) run ./cmd/ghostbench -experiment fig6 -workloads camel,kangaroo,hj2,bfs.kron \
+		-cpuprofile fig6.cpu.pprof -memprofile fig6.mem.pprof -json -quiet > /dev/null
+	@ls -l fig6.cpu.pprof fig6.mem.pprof
 
 # Observability smoke: trace camel/ghost through the event recorder,
 # export Chrome trace-event JSON, and re-validate it against the schema

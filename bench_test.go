@@ -69,6 +69,30 @@ func BenchmarkFigure6(b *testing.B) {
 	benchMatrix(b, sim.DefaultConfig(), "idle")
 }
 
+// BenchmarkMatrixFig6 is the end-to-end simulator-throughput benchmark:
+// the same 4-workload figure-6 slice `make bench-smoke` records in
+// BENCH_fig6.json, reporting simulated-cycles-per-second and (via
+// ReportAllocs) the full pipeline's allocation bill, so both axes of the
+// raw-speed work are visible from one `go test -bench` line. Under
+// -short it shrinks to the single cheapest workload.
+func BenchmarkMatrixFig6(b *testing.B) {
+	names := []string{"camel", "kangaroo", "hj2", "bfs.kron"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	b.ReportAllocs()
+	var m *harness.Matrix
+	var err error
+	for i := 0; i < b.N; i++ {
+		m, err = harness.RunMatrixWorkers(names, "idle", sim.DefaultConfig(), 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.CyclesPerSec, "simcycles/s")
+	b.ReportMetric(m.GeomeanSpeedup(harness.TechGhost), "ghost-x")
+}
+
 // BenchmarkFigure7 regenerates the idle-server energy savings (paper
 // geomeans: 6%/12%/16%/4%).
 func BenchmarkFigure7(b *testing.B) {

@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ghostthread/internal/harness"
@@ -51,12 +53,40 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 1, "master seed for the resilience fault schedules")
 		budget     = flag.Int64("budget", 0, "per-run cycle-budget watchdog for resilience (0 = machine default)")
 		panicAt    = flag.String("panic-at", "", "resilience: panic inside this workload's worker (tests panic recovery)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile (after the experiment) to this file")
+		profDir    = flag.String("profile-cache", "", "directory for the on-disk profiling-report cache (empty = in-process memo only)")
+		serialStep = flag.Bool("serialstep", false, "force serial per-core stepping inside multi-core runs (disable the epoch-parallel fast path)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
+	if *profDir != "" {
+		check(harness.SetProfileCacheDir(*profDir))
+	}
 
 	idleCfg, busyCfg := sim.DefaultConfig(), sim.BusyConfig()
 	idleCfg.CycleStep = *cycleStep
 	busyCfg.CycleStep = *cycleStep
+	idleCfg.SerialStep = *serialStep
+	busyCfg.SerialStep = *serialStep
 
 	names := workloads.AllWorkloadNames()
 	if *workSet != "" {

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"ghostthread/internal/analysis"
+	"ghostthread/internal/harness"
 	"ghostthread/internal/lint"
 	"ghostthread/internal/workloads"
 )
@@ -35,8 +36,12 @@ func main() {
 		workload = flag.String("workload", "", "advise a comma-separated list of workloads")
 		eval     = flag.Bool("eval-scale", false, "analyze evaluation-scale instances instead of profile-scale")
 		asJSON   = flag.Bool("json", false, "emit a JSON advice array on stdout instead of the table")
+		profDir  = flag.String("profile-cache", "", "on-disk profiling-report cache directory, shared with ghostbench (the advice passes themselves are static and never profile, so today this only primes the harness cache configuration)")
 	)
 	flag.Parse()
+	if err := harness.SetProfileCacheDir(*profDir); err != nil {
+		fatal(err)
+	}
 
 	var opts lint.Options
 	if *eval {

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"ghostthread/internal/analysis"
+	"ghostthread/internal/harness"
 	"ghostthread/internal/lint"
 	"ghostthread/internal/workloads"
 )
@@ -42,8 +43,12 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit a JSON verdict array on stdout instead of the table")
 		shadow   = flag.Bool("shadow", false, "also run each ghost under the dynamic shadow oracle (both stepping modes)")
 		buffer   = flag.Int("shadow-buffer", 0, "shadow oracle pending-prefetch buffer (0 = default)")
+		profDir  = flag.String("profile-cache", "", "on-disk profiling-report cache directory, shared with ghostbench (verification is static — and -shadow runs full simulations, not profiles — so today this only primes the harness cache configuration)")
 	)
 	flag.Parse()
+	if err := harness.SetProfileCacheDir(*profDir); err != nil {
+		fatal(err)
+	}
 
 	opts := lint.VerifyOptions{Shadow: *shadow, ShadowBuffer: *buffer}
 	if *eval {

@@ -40,6 +40,7 @@ func (c Config) Sets() int64 {
 type Cache struct {
 	name    string
 	sets    int64
+	setMask int64 // sets-1 when sets is a power of two, else -1 (probe uses %)
 	ways    int
 	tags    []int64 // sets*ways entries; -1 = invalid
 	readyAt []int64 // fill-completion cycle per entry
@@ -64,7 +65,11 @@ type Cache struct {
 func New(name string, cfg Config) *Cache {
 	sets := cfg.Sets()
 	n := sets * int64(cfg.Ways)
-	c := &Cache{name: name, sets: sets, ways: cfg.Ways,
+	mask := int64(-1)
+	if sets&(sets-1) == 0 {
+		mask = sets - 1
+	}
+	c := &Cache{name: name, sets: sets, setMask: mask, ways: cfg.Ways,
 		tags: make([]int64, n), readyAt: make([]int64, n), lastUse: make([]int64, n),
 		hwPf: make([]bool, n), swPf: make([]bool, n)}
 	for i := range c.tags {
@@ -75,6 +80,16 @@ func New(name string, cfg Config) *Cache {
 
 // Name returns the level's label (for stats rendering).
 func (c *Cache) Name() string { return c.name }
+
+// setBase returns the first entry index of line's set. Set counts are
+// powers of two for every real configuration, turning the per-probe
+// modulo into a mask; the division survives only for odd test sizes.
+func (c *Cache) setBase(line int64) int64 {
+	if c.setMask >= 0 {
+		return (line & c.setMask) * int64(c.ways)
+	}
+	return (line % c.sets) * int64(c.ways)
+}
 
 // Reset invalidates all lines and clears counters.
 func (c *Cache) Reset() {
@@ -97,8 +112,7 @@ func (c *Cache) Reset() {
 // test on the hit way, so the demand path is unchanged when no prefetch
 // tags exist.
 func (c *Cache) lookup(line, now int64, demand bool) (readyAt int64, hit bool) {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {
@@ -125,8 +139,7 @@ func (c *Cache) lookup(line, now int64, demand bool) (readyAt int64, hit bool) {
 
 // install places line with the given fill time, evicting the LRU way.
 func (c *Cache) install(line, fillAt, now int64) {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	victim := base
 	oldest := int64(1<<62 - 1)
 	for w := 0; w < c.ways; w++ {
@@ -156,8 +169,7 @@ func (c *Cache) install(line, fillAt, now int64) {
 // installPrefetched is install with the tagged-prefetch trigger bit set.
 func (c *Cache) installPrefetched(line, fillAt, now int64) {
 	c.install(line, fillAt, now)
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {
@@ -170,8 +182,7 @@ func (c *Cache) installPrefetched(line, fillAt, now int64) {
 // markSWPrefetched sets the software-prefetch classification tag on a
 // resident line (the one a PrefetchAccess just installed).
 func (c *Cache) markSWPrefetched(line int64) {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {
@@ -184,8 +195,7 @@ func (c *Cache) markSWPrefetched(line int64) {
 // touchPrefetchBit reports and clears the trigger bit for a resident line
 // (first demand touch of a hardware-prefetched line extends the stream).
 func (c *Cache) touchPrefetchBit(line int64) bool {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line && c.hwPf[i] {
@@ -199,8 +209,7 @@ func (c *Cache) touchPrefetchBit(line int64) bool {
 // peekReady returns the fill-ready cycle for a resident line without
 // touching replacement or counter state.
 func (c *Cache) peekReady(line int64) (readyAt int64, resident bool) {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {
@@ -224,8 +233,7 @@ func (c *Cache) PeekReady(line int64) (readyAt int64, resident bool) {
 // pulling an already-later fill in). Touches nothing else — no
 // replacement, counter, or classification state.
 func (c *Cache) delayReady(line, at int64) {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {
@@ -240,8 +248,7 @@ func (c *Cache) delayReady(line, at int64) {
 // peek probes for line without touching replacement or counter state.
 // It reports residency and, when resident, whether the fill has landed.
 func (c *Cache) peek(line, now int64) (resident, filled bool) {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {
@@ -253,8 +260,7 @@ func (c *Cache) peek(line, now int64) (resident, filled bool) {
 
 // Contains reports (for tests) whether line is resident and filled at now.
 func (c *Cache) Contains(line, now int64) bool {
-	set := line % c.sets
-	base := set * int64(c.ways)
+	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
 		i := base + int64(w)
 		if c.tags[i] == line {

@@ -11,32 +11,28 @@ import (
 	"ghostthread/internal/obs"
 )
 
-// entry states.
+// entry states. The engine is fully analytic: every instruction's issue
+// and completion cycles are fixed the moment it dispatches (its producers,
+// dispatched earlier, already have fixed completion cycles — induction
+// from program order), so the reorder buffer never holds an entry whose
+// timing is unknown. Only the serialize instruction defers: its cost
+// starts when it reaches the ROB head.
 const (
-	stWaiting   = iota // dispatched, operands outstanding
-	stReady            // operands available, awaiting an issue slot
-	stIssued           // executing
-	stDone             // execution complete, awaiting commit
-	stSerialize        // serialize: completes at the ROB head (drain)
-	stDirect           // spawn/join/halt/nop-like: completes without an issue slot
+	stIssued    = iota // scheduled: completes at completeAt
+	stSerialize        // serialize: completes at the ROB head (drain + restart cost)
 )
 
-type robEntry struct {
-	pc         int32
-	op         isa.Op
-	flags      isa.Flag
-	state      uint8
-	notReady   int16
-	inLQ, inSQ bool
-	completeAt int64
-	addr       int64 // memory address (mem ops), computed at dispatch
-}
-
-// thread is one SMT hardware context.
+// thread is one SMT hardware context. The reorder buffer is kept in
+// structure-of-arrays form: the per-slot fields the hot loops touch
+// (state bytes, static pcs, completion cycles) live in parallel slices
+// sized once per reset and reused across helper re-spawns, so commit
+// walks densely packed state and the steady-state step path allocates
+// nothing.
 type thread struct {
 	id   int
 	gen  uint32
 	prog *isa.Program
+	code []dInstr // decoded image of prog (see decoded.go)
 
 	active   bool
 	startAt  int64
@@ -47,17 +43,21 @@ type thread struct {
 	regs     [isa.NumRegs]int64
 	producer [isa.NumRegs]int32 // ROB slot producing the register, -1 if value final
 
-	rob        []robEntry
-	deps       [][]int32 // per-slot wakeup lists (reused)
+	// Reorder buffer, SoA. Slot i is described by state[i], rpc[i] (the
+	// static pc, indexing code), cmeta[i] (the packed commit metadata,
+	// see decoded.go), and completeAt[i] — the completion cycle in
+	// stIssued, or the drain deadline in stSerialize (0 = not yet at the
+	// head).
+	state      []uint8
+	rpc        []int32
+	cmeta      []uint16
+	completeAt []int64
 	head, tail int
 	count      int
-
-	readyQ []int32
 
 	lq, sq            int
 	fetchBlockedUntil int64
 	serializeBlocked  bool
-	waitBranch        int32 // ROB slot of the unresolved hard branch stalling dispatch, or -1
 
 	// Per-run statistics.
 	committed      int64
@@ -79,9 +79,14 @@ type thread struct {
 	inSkip        bool // inside a FlagSyncSkip run (dedups skip instants)
 }
 
-func (t *thread) reset(prog *isa.Program, robSize int, startAt int64) {
+func (t *thread) reset(prog *isa.Program, dp *decodedProgram, robSize int, startAt int64) {
 	t.gen++
 	t.prog = prog
+	if dp != nil {
+		t.code = dp.code
+	} else {
+		t.code = nil
+	}
 	t.active = prog != nil
 	t.startAt = startAt
 	t.halted = false
@@ -90,18 +95,20 @@ func (t *thread) reset(prog *isa.Program, robSize int, startAt int64) {
 	for i := range t.producer {
 		t.producer[i] = -1
 	}
-	if cap(t.rob) < robSize {
-		t.rob = make([]robEntry, robSize)
-		t.deps = make([][]int32, robSize)
+	if cap(t.state) < robSize {
+		t.state = make([]uint8, robSize)
+		t.rpc = make([]int32, robSize)
+		t.cmeta = make([]uint16, robSize)
+		t.completeAt = make([]int64, robSize)
 	}
-	t.rob = t.rob[:robSize]
-	t.deps = t.deps[:robSize]
+	t.state = t.state[:robSize]
+	t.rpc = t.rpc[:robSize]
+	t.cmeta = t.cmeta[:robSize]
+	t.completeAt = t.completeAt[:robSize]
 	t.head, t.tail, t.count = 0, 0, 0
-	t.readyQ = t.readyQ[:0]
 	t.lq, t.sq = 0, 0
 	t.fetchBlockedUntil = 0
 	t.serializeBlocked = false
-	t.waitBranch = -1
 	t.committed = 0
 	t.serializes = 0
 	t.serializeStall = 0
@@ -110,8 +117,19 @@ func (t *thread) reset(prog *isa.Program, robSize int, startAt int64) {
 	t.robStallStart, t.robStallPC = -1, 0
 	t.inSkip = false
 	if prog != nil {
-		t.stallPC = make([]int64, len(prog.Code))
-		t.execPC = make([]int64, len(prog.Code))
+		// Reuse the profile counters across re-spawns of same-sized
+		// programs (the common helper case) so spawning never allocates on
+		// the steady-state path.
+		n := len(prog.Code)
+		if cap(t.stallPC) < n {
+			t.stallPC = make([]int64, n)
+			t.execPC = make([]int64, n)
+		} else {
+			t.stallPC = t.stallPC[:n]
+			t.execPC = t.execPC[:n]
+			clear(t.stallPC)
+			clear(t.execPC)
+		}
 	}
 }
 
@@ -122,21 +140,33 @@ type Core struct {
 	hier *cache.Hierarchy
 	mem  *mem.Memory
 
-	helpers []*isa.Program
-	threads [2]thread
-	now     int64
-	events  eventHeap
+	helpers  []*isa.Program
+	dmain    *decodedProgram
+	dhelpers []*decodedProgram
+	threads  [2]thread
+	now      int64
+	events   eventWheel
+	due      []event  // scratch for the cycle's due events (reused)
+	lat      [3]int64 // issue latency per latClass (Int, Mul, Div)
 
-	mshrInUse int
+	// Analytic MSHR file: mshrFreeAt holds, per slot, the cycle at which
+	// its outstanding fill lands (free when ≤ the access time), arranged
+	// as a binary min-heap so the earliest release is the root. A miss
+	// that finds every slot busy at its ready cycle is delayed to the
+	// earliest release — the queueing discipline the event-driven model
+	// expressed as per-cycle retries.
+	mshrFreeAt []int64
 
-	// Event-skip bookkeeping (see NextEvent): issueStarved records that
-	// the last issue() left ready work unissued because the shared issue
-	// ports ran out; dispatchedReady records that the last dispatch()
-	// inserted entries that are already ready but were dispatched after
-	// this cycle's issue pass ran. Either means the very next cycle can
-	// make progress without an event.
-	issueStarved    bool
-	dispatchedReady bool
+	// Issue-port claim ring: issueCnt[c&wheelMask] is the number of the
+	// cycle's IssueWidth ports already claimed, valid when
+	// issueStamp[c&wheelMask] == c (stale slots read as zero, so the ring
+	// never needs bulk clearing as the clock advances). Every instruction
+	// claims the earliest free cycle at dispatch, in dispatch order.
+	// Claims beyond the ring horizon are not tracked — a dependence chain
+	// stretching a wheel-length into the future is latency-bound, not
+	// port-bound.
+	issueCnt   [wheelSize]int16
+	issueStamp [wheelSize]int64
 
 	// Statistics.
 	LoadLevel     [4]int64 // demand loads + atomics satisfied per level
@@ -166,10 +196,17 @@ type Core struct {
 	shadow *shadowOracle
 
 	// Fault injection (nil = off; see internal/fault). Draw points are
-	// event processing, dispatch, and issue — all of which run at the same
+	// event processing and dispatch — both of which run at the same
 	// cycles under per-cycle stepping and event skipping, so a faulted run
 	// is bit-identical across step modes.
 	fault *fault.Injector
+
+	// Turn gate for parallel multi-core stepping (nil = serial; see
+	// gate.go and sim.System). haveTurn tracks whether this step already
+	// acquired the cycle's turn.
+	gate     *StepGate
+	rank     int
+	haveTurn bool
 
 	err error
 }
@@ -179,25 +216,42 @@ func New(cfg Config, hier *cache.Hierarchy, m *mem.Memory) *Core {
 	c := &Core{cfg: cfg, hier: hier, mem: m}
 	c.threads[0].id = 0
 	c.threads[1].id = 1
+	c.lat = [3]int64{cfg.IntLat, cfg.MulLat, cfg.DivLat}
 	return c
 }
 
 // Load installs the main program on context 0 and records the helper
-// programs that OpSpawn can activate on context 1.
+// programs that OpSpawn can activate on context 1. Programs are decoded
+// once here (see decoded.go); isa.Program is immutable after building,
+// so the decoded image needs no invalidation.
 func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
 	c.helpers = helpers
-	c.threads[0].reset(main, c.cfg.ROBSize, 0)
-	c.threads[1].reset(nil, c.cfg.ROBSize, 0)
+	c.dmain = decodeProgram(main)
+	c.dhelpers = c.dhelpers[:0]
+	for _, h := range helpers {
+		c.dhelpers = append(c.dhelpers, decodeProgram(h))
+	}
+	c.threads[0].reset(main, c.dmain, c.cfg.ROBSize, 0)
+	c.threads[1].reset(nil, nil, c.cfg.ROBSize, 0)
 	c.accCommitted = [2]int64{}
 	c.accSerializes = [2]int64{}
 	c.accSerStall = [2]int64{}
 	c.accFrontend = [2]int64{}
 	c.ghostStart = 0
 	c.now = 0
-	c.events.ev = c.events.ev[:0]
-	c.mshrInUse = 0
-	c.issueStarved = false
-	c.dispatchedReady = false
+	c.events.reset()
+	nmshr := c.cfg.MSHRs
+	if nmshr < 1 {
+		nmshr = 1 // the heap root is probed unconditionally
+	}
+	if cap(c.mshrFreeAt) < nmshr {
+		c.mshrFreeAt = make([]int64, nmshr)
+	}
+	c.mshrFreeAt = c.mshrFreeAt[:nmshr]
+	clear(c.mshrFreeAt)
+	for i := range c.issueStamp {
+		c.issueStamp[i] = -1
+	}
 	c.err = nil
 	if c.fault != nil {
 		// Seed the timing wheel with the fault triggers that need one: the
@@ -205,10 +259,10 @@ func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
 		// on the wheel (instead of polling) is what lets injection compose
 		// with the event-skip fast path.
 		if gap := c.fault.NextPreemptGap(); gap > 0 {
-			c.events.push(event{at: gap, kind: evFaultPreempt})
+			c.events.push(c.now, event{at: gap, kind: evFaultPreempt})
 		}
 		if at := c.fault.Config().GhostKillAt; at > 0 {
-			c.events.push(event{at: at, kind: evFaultKill})
+			c.events.push(c.now, event{at: at, kind: evFaultKill})
 		}
 	}
 }
@@ -256,22 +310,113 @@ func (c *Core) sqCap() int {
 	return c.cfg.StoreQ
 }
 
-// Step advances the core by one cycle: process completions, commit,
-// issue, then dispatch (reverse pipeline order). It returns false once
+// SetGate attaches (or with nil detaches) the turn gate for parallel
+// multi-core stepping, with this core's rank in the current cycle's
+// serial order. Attached by sim.System's parallel loop only.
+func (c *Core) SetGate(g *StepGate, rank int) {
+	c.gate = g
+	c.rank = rank
+}
+
+// turn acquires this cycle's shared-access turn once per step: the first
+// shared-resource touch (cache hierarchy, memory image) waits until every
+// lower-ranked core has finished its step, reproducing the serial order.
+func (c *Core) turn() {
+	if c.gate != nil && !c.haveTurn {
+		c.gate.acquire(c.rank)
+		c.haveTurn = true
+	}
+}
+
+// claimIssue claims an issue port at the earliest cycle at or after
+// ready with a free slot and returns that cycle. Ports beyond the ring
+// horizon are untracked (see the issueCnt field comment).
+func (c *Core) claimIssue(ready int64) int64 {
+	cyc := ready
+	for cyc-c.now <= wheelSize {
+		b := int(uint64(cyc) & wheelMask)
+		if c.issueStamp[b] != cyc {
+			c.issueStamp[b] = cyc
+			c.issueCnt[b] = 1
+			return cyc
+		}
+		if int(c.issueCnt[b]) < c.cfg.IssueWidth {
+			c.issueCnt[b]++
+			return cyc
+		}
+		cyc++
+	}
+	return cyc
+}
+
+// mshrWait returns the earliest cycle at or after `at` with a free MSHR.
+// mshrFreeAt is a binary min-heap, so the earliest-freeing slot is the
+// root; only the multiset of free times is observable (wait, busy), so
+// the heap is behaviourally identical to a flat scan at O(1) per probe.
+func (c *Core) mshrWait(at int64) int64 {
+	if f := c.mshrFreeAt[0]; f > at {
+		return f
+	}
+	return at
+}
+
+// mshrClaim occupies the earliest-freeing MSHR slot until the fill
+// lands: a replace-root sift-down on the free-time heap.
+func (c *Core) mshrClaim(until int64) {
+	h := c.mshrFreeAt
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		if r := l + 1; r < len(h) && h[r] < h[l] {
+			l = r
+		}
+		if h[l] >= until {
+			break
+		}
+		h[i] = h[l]
+		i = l
+	}
+	h[i] = until
+}
+
+// mshrBusy counts MSHR slots occupied at cycle `at`.
+func (c *Core) mshrBusy(at int64) int {
+	n := 0
+	for _, f := range c.mshrFreeAt {
+		if f > at {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances the core by one cycle: process due fault triggers,
+// commit, then dispatch (reverse pipeline order). It returns false once
 // the core is done.
 func (c *Core) Step() bool {
 	if c.Done() {
+		if c.gate != nil {
+			c.gate.finish(c.rank)
+		}
 		return false
 	}
+	c.haveTurn = false
 	c.now++
-	c.processEvents()
+	if c.events.len() > 0 {
+		c.processEvents()
+	}
 	for i := range c.threads {
 		c.commit(&c.threads[i])
 	}
-	c.issue()
 	c.dispatch()
 	if c.trace != nil {
 		c.traceStalls()
+	}
+	if c.gate != nil {
+		c.gate.finish(c.rank)
 	}
 	return !c.Done()
 }
@@ -288,12 +433,10 @@ func (c *Core) traceStalls() {
 		t := &c.threads[i]
 		blocked := false
 		var pc int32
-		if t.active && !t.finished && t.count >= c.robCap() {
-			h := &t.rob[t.head]
-			if h.state == stWaiting || h.state == stReady || h.state == stIssued {
-				blocked = true
-				pc = h.pc
-			}
+		if t.active && !t.finished && t.count >= c.robCap() &&
+			t.state[t.head] == stIssued && t.completeAt[t.head] > c.now {
+			blocked = true
+			pc = t.rpc[t.head]
 		}
 		switch {
 		case blocked && t.robStallStart < 0:
@@ -343,77 +486,65 @@ const never = math.MaxInt64
 // It must be called between Steps (after Step has returned), when these
 // invariants hold and every possible state change is one of:
 //
-//   - a timing-wheel event firing (instruction completion, MSHR release);
-//   - the serialize instruction at a ROB head reaching its drain
-//     deadline (tracked in its completeAt, not on the wheel);
-//   - leftover ready work: the last issue pass ran out of ports
-//     (issueStarved), or dispatch inserted already-ready entries after
-//     the issue pass (dispatchedReady) — both can issue next cycle;
+//   - a timing-wheel event firing (fault preemption or kill triggers —
+//     the only events left in the analytic engine);
+//   - the ROB head reaching its completion cycle (stIssued) or, for a
+//     serialize, its drain deadline;
 //   - a committable ROB head (commit-width limits can leave one);
 //   - dispatch proceeding once its fetch barriers (thread start, branch
 //     redirect, spawn/join costs) expire.
 //
-// Ready entries held back by a structural hazard (an L1 miss with all
-// MSHRs taken) need no wake-up of their own: the hazard can only clear
-// through an MSHR-release event already on the wheel, and any same-cycle
-// cache install that could turn their miss into a hit comes from an
-// instruction that issued this cycle — which pushed its own completion
-// event at no later than Now()+1. Dispatch blocked on a full ROB or
-// load/store queue likewise only unblocks via commit or completion,
-// both covered above.
+// Dispatch blocked on a full ROB or load/store queue only unblocks via
+// commit, covered by the head clauses above.
 func (c *Core) NextEvent() int64 {
 	if c.Done() {
 		return never
 	}
 	next := int64(never)
-	if at, ok := c.events.peekAt(); ok && at < next {
+	if at, ok := c.events.peekAt(c.now); ok && at < next {
 		next = at
-	}
-	if c.issueStarved || c.dispatchedReady {
-		next = c.now + 1
 	}
 	for i := range c.threads {
 		t := &c.threads[i]
 		if !t.active || t.finished {
 			continue
 		}
-		// Commit progress not driven by the timing wheel.
+		// Commit progress.
 		if t.count > 0 {
-			e := &t.rob[t.head]
-			switch {
-			case e.state == stDone:
-				next = min(next, c.now+1) // commit-width leftover
-			case e.state == stSerialize:
-				if e.completeAt == 0 {
+			switch t.state[t.head] {
+			case stIssued:
+				next = min(next, max(t.completeAt[t.head], c.now+1))
+			case stSerialize:
+				if at := t.completeAt[t.head]; at == 0 {
 					next = min(next, c.now+1) // drain deadline set at the head
 				} else {
-					next = min(next, e.completeAt)
+					next = min(next, at)
 				}
 			}
 		}
 		// Dispatch progress. Threads blocked mid-pipeline (serialize
-		// drain, unresolved hard branch, full ROB/LQ/SQ, join-wait) only
-		// unblock via events handled above; everything else can dispatch
-		// as soon as the fetch barriers expire.
-		if t.halted || t.serializeBlocked || t.waitBranch >= 0 {
+		// drain, full ROB/LQ/SQ, join-wait) only unblock via commits
+		// handled above; everything else can dispatch as soon as the
+		// fetch barriers expire.
+		if t.halted || t.serializeBlocked {
 			continue
 		}
 		if t.count >= c.robCap() {
 			continue
 		}
-		if t.pc >= 0 && t.pc < len(t.prog.Code) {
-			in := &t.prog.Code[t.pc]
-			switch in.Op {
-			case isa.OpLoad, isa.OpAtomicAdd, isa.OpPrefetch:
+		if t.pc >= 0 && t.pc < len(t.code) {
+			d := &t.code[t.pc]
+			switch d.class {
+			case clLoad, clAtomic, clPrefetch:
 				if t.lq >= c.lqCap() {
 					continue
 				}
-			case isa.OpStore:
+			case clStore:
 				if t.sq >= c.sqCap() {
 					continue
 				}
-			case isa.OpJoin:
-				if in.Imm == JoinWaitImm && c.smtActive() {
+			case clJoin:
+				if d.imm == JoinWaitImm && c.smtActive() {
 					continue
 				}
 			}
@@ -452,36 +583,22 @@ func (c *Core) SkipTo(target int64) {
 		// The head cannot commit anywhere in the span (otherwise
 		// NextEvent would have stopped the skip sooner), so every skipped
 		// cycle charges the instruction blocking it.
-		t.stallPC[t.rob[t.head].pc] += span
+		t.stallPC[t.rpc[t.head]] += span
 	}
 	c.now = target
 }
 
 func (c *Core) processEvents() {
-	for {
-		at, ok := c.events.peekAt()
-		if !ok || at > c.now {
-			return
-		}
-		e := c.events.pop()
+	c.due = c.events.takeDue(c.now, c.due)
+	for _, e := range c.due {
 		switch e.kind {
-		case evMSHRRelease:
-			c.mshrInUse--
-			continue
 		case evFaultPreempt:
 			c.applyPreempt()
-			continue
 		case evFaultKill:
 			if c.deactivateHelper() {
 				c.fault.Stats.Kills++
 			}
-			continue
 		}
-		t := &c.threads[e.thread]
-		if e.gen != t.gen {
-			continue // the thread was re-spawned/killed; stale completion
-		}
-		c.complete(t, e.idx)
 	}
 }
 
@@ -502,15 +619,14 @@ func (c *Core) applyPreempt() {
 			h.fetchBlockedUntil = bl
 		}
 	}
-	c.events.push(event{at: c.now + win + gap, kind: evFaultPreempt})
+	c.events.push(c.now, event{at: c.now + win + gap, kind: evFaultPreempt})
 }
 
 // deactivateHelper kills the live helper context mid-flight — the shared
 // path of the default join and the ghost-kill fault (ghost threads modify
 // no application state, so an asynchronous kill is architecturally safe).
 // It settles the partial serialize-stall window and closes open trace
-// spans, then invalidates in-flight completions. Reports whether a helper
-// was actually live.
+// spans. Reports whether a helper was actually live.
 func (c *Core) deactivateHelper() bool {
 	h := &c.threads[1]
 	if !h.active || h.finished {
@@ -541,43 +657,8 @@ func (c *Core) deactivateHelper() bool {
 	}
 	h.active = false
 	h.finished = true
-	h.gen++ // invalidate its in-flight completions
+	h.gen++
 	return true
-}
-
-// complete marks entry idx done and wakes its dependents.
-func (c *Core) complete(t *thread, idx int32) {
-	e := &t.rob[idx]
-	if e.state == stDone {
-		return
-	}
-	e.state = stDone
-	switch e.op {
-	case isa.OpLoad, isa.OpAtomicAdd, isa.OpPrefetch:
-		t.lq--
-	}
-	if e.op.HasDst() {
-		in := &t.prog.Code[e.pc]
-		if t.producer[in.Dst] == idx {
-			t.producer[in.Dst] = -1
-		}
-	}
-	for _, d := range t.deps[idx] {
-		de := &t.rob[d]
-		de.notReady--
-		if de.notReady == 0 && de.state == stWaiting {
-			de.state = stReady
-			t.readyQ = append(t.readyQ, d)
-		}
-	}
-	t.deps[idx] = t.deps[idx][:0]
-	if t.waitBranch == idx {
-		t.waitBranch = -1
-		bl := c.now + c.cfg.BranchPenalty
-		if bl > t.fetchBlockedUntil {
-			t.fetchBlockedUntil = bl
-		}
-	}
 }
 
 func (c *Core) commit(t *thread) {
@@ -594,15 +675,16 @@ func (c *Core) commit(t *thread) {
 		return
 	}
 	for w := 0; w < c.cfg.CommitWidth && t.count > 0; w++ {
-		e := &t.rob[t.head]
-		if e.state == stSerialize {
-			if e.completeAt == 0 {
+		h := t.head
+		pc := t.rpc[h]
+		if t.state[h] == stSerialize {
+			if t.completeAt[h] == 0 {
 				// The serialize has drained: all older instructions have
 				// committed. It now pays its microcode/restart cost.
-				e.completeAt = c.now + c.cfg.SerializeLat
+				t.completeAt[h] = c.now + c.cfg.SerializeLat
 			}
-			if c.now < e.completeAt {
-				t.stallPC[e.pc]++
+			if c.now < t.completeAt[h] {
+				t.stallPC[pc]++
 				return
 			}
 			t.serializeBlocked = false
@@ -613,21 +695,34 @@ func (c *Core) commit(t *thread) {
 				c.met.SerializeStall.Observe(dur)
 			}
 			if c.trace != nil && dur > 0 {
-				c.trace.Emit(obs.Event{Cycle: t.serStart, Dur: dur, Arg: int64(e.pc),
+				c.trace.Emit(obs.Event{Cycle: t.serStart, Dur: dur, Arg: int64(pc),
 					Kind: obs.KindSerialize, Core: c.id, Ctx: uint8(t.id)})
 			}
-		} else if e.state != stDone {
+		} else if t.completeAt[h] > c.now {
 			if w == 0 {
-				t.stallPC[e.pc]++
+				t.stallPC[pc]++
 			}
 			return
 		}
-		if e.op == isa.OpStore {
+		m := t.cmeta[h]
+		switch m >> cmetaQShift {
+		case cmetaQStore:
 			t.sq--
+		case cmetaQLoad:
+			t.lq--
 		}
-		t.execPC[e.pc]++
+		// Entries complete silently (no wake event), so the register
+		// claim is released here: a recycled ROB slot can then never be
+		// mistaken for a live producer.
+		if m&cmetaHasDst != 0 && t.producer[m&cmetaDstMask] == int32(h) {
+			t.producer[m&cmetaDstMask] = -1
+		}
+		t.execPC[pc]++
 		t.committed++
-		t.head = (t.head + 1) % len(t.rob)
+		t.head++
+		if t.head == len(t.state) {
+			t.head = 0
+		}
 		t.count--
 	}
 	if t.count == 0 && t.halted {
@@ -648,66 +743,74 @@ func (c *Core) traceGhostDrain(t *thread) {
 	}
 }
 
-// issue picks ready instructions up to the shared issue width,
-// alternating thread priority each cycle.
-func (c *Core) issue() {
-	slots := c.cfg.IssueWidth
-	c.issueStarved = false
-	first := int(c.now & 1)
-	for k := 0; k < 2; k++ {
-		t := &c.threads[(first+k)&1]
-		if !t.active || t.finished || len(t.readyQ) == 0 {
-			continue
+// readyFloor returns the earliest cycle the instruction's operands allow
+// it to begin execution: the latest completion cycle among its
+// producers. Every producer, being older, already has a fixed completion
+// cycle — the induction the analytic engine rests on.
+func (t *thread) readyFloor(d *dInstr) int64 {
+	floor := int64(0)
+	if d.nsrc >= 1 {
+		if p := t.producer[d.src1]; p >= 0 {
+			floor = t.completeAt[p]
 		}
-		if slots == 0 {
-			c.issueStarved = true
-			continue
-		}
-		q := t.readyQ
-		kept := q[:0]
-		for qi := 0; qi < len(q); qi++ {
-			idx := q[qi]
-			if slots == 0 {
-				kept = append(kept, idx)
-				c.issueStarved = true
-				continue
+		if d.nsrc == 2 {
+			if p := t.producer[d.src2]; p >= 0 && t.completeAt[p] > floor {
+				floor = t.completeAt[p]
 			}
-			e := &t.rob[idx]
-			if !c.tryIssue(t, idx, e) {
-				kept = append(kept, idx) // structural hazard; event-driven retry
-				continue
-			}
-			slots--
 		}
-		t.readyQ = kept
+	}
+	return floor
+}
+
+// observeFill records a newly allocated L1 fill issued at cycle `at`: an
+// MSHR-occupancy observation and, when tracing, a fill span on the mem
+// track covering the in-flight window.
+func (c *Core) observeFill(t *thread, addr, at int64, res cache.AccessResult) {
+	if c.met != nil && c.met.MSHROccupancy != nil {
+		c.met.MSHROccupancy.Observe(int64(c.mshrBusy(at)))
+	}
+	if c.trace != nil {
+		if dur := res.CompleteAt - at; dur > 0 {
+			c.trace.Emit(obs.Event{Cycle: at, Dur: dur, Arg: addr, Kind: obs.KindFill,
+				Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
+		}
 	}
 }
 
-// tryIssue begins execution of a ready entry; false means a structural
-// hazard (MSHRs full) blocked it.
-func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
-	var completeAt int64
-	switch e.op {
-	case isa.OpLoad, isa.OpAtomicAdd:
-		wouldMiss := c.hier.WouldMissL1(e.addr, c.now)
-		if wouldMiss && c.mshrInUse >= c.cfg.MSHRs {
-			return false
+// issueMem fixes the issue cycle of a memory operation dispatched this
+// cycle and performs its cache access there-and-then: the access is
+// stamped with the claimed future issue cycle, so hit/miss classification,
+// fill timing, MSHR occupancy, and bandwidth consumption all see the
+// cycle the event-driven engine would have issued at. A miss finding all
+// MSHRs busy is delayed to the earliest release (analytic queueing in
+// place of per-cycle retries). Returns the entry's completion cycle.
+func (c *Core) issueMem(t *thread, d *dInstr, addr, floor int64) int64 {
+	ready := c.now + 1
+	if floor > ready {
+		ready = floor
+	}
+	switch d.class {
+	case clLoad, clAtomic:
+		if c.hier.WouldMissL1(addr, ready) {
+			if w := c.mshrWait(ready); w > ready {
+				ready = w
+			}
 		}
-		res := c.hier.DemandAccess(e.addr, c.now)
+		issueAt := c.claimIssue(ready)
+		res := c.hier.DemandAccess(addr, issueAt)
 		c.LoadLevel[res.Level]++
 		if res.NewMiss {
-			c.mshrInUse++
-			c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
-			c.observeFill(t, e.addr, res)
+			c.mshrClaim(res.CompleteAt)
+			c.observeFill(t, addr, issueAt, res)
 		}
-		completeAt = res.CompleteAt
-	case isa.OpPrefetch:
-		wouldMiss := c.hier.WouldMissL1(e.addr, c.now)
-		if wouldMiss && c.mshrInUse >= c.cfg.MSHRs {
-			return false
+		return res.CompleteAt
+	case clPrefetch:
+		if c.hier.WouldMissL1(addr, ready) {
+			if w := c.mshrWait(ready); w > ready {
+				ready = w
+			}
 		}
-		// The fate draw happens only after the structural check passed, so
-		// a hazard-blocked retry never consumes an extra draw.
+		issueAt := c.claimIssue(ready)
 		var pfDrop bool
 		var pfDelay int64
 		if c.fault != nil {
@@ -718,77 +821,203 @@ func (c *Core) tryIssue(t *thread, idx int32, e *robEntry) bool {
 			// (software prefetches are hints), but no fill starts.
 			c.Prefetches++
 		} else {
-			res := c.hier.PrefetchAccess(e.addr, c.now)
+			res := c.hier.PrefetchAccess(addr, issueAt)
 			if pfDelay > 0 && res.NewMiss {
 				res.CompleteAt += pfDelay
-				c.hier.DelayFill(e.addr, res.CompleteAt)
+				c.hier.DelayFill(addr, res.CompleteAt)
 			}
 			c.PrefetchLevel[res.Level]++
 			c.Prefetches++
 			if c.trace != nil {
-				c.trace.Emit(obs.Event{Cycle: c.now, Arg: e.addr, Kind: obs.KindPrefetch,
+				c.trace.Emit(obs.Event{Cycle: issueAt, Arg: addr, Kind: obs.KindPrefetch,
 					Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
 			}
 			if res.NewMiss {
-				c.mshrInUse++
-				c.events.push(event{at: res.CompleteAt, kind: evMSHRRelease})
-				c.observeFill(t, e.addr, res)
+				c.mshrClaim(res.CompleteAt)
+				c.observeFill(t, addr, issueAt, res)
 			}
 		}
-		completeAt = c.now + 1 // fire-and-forget: retires without the fill
-	case isa.OpStore:
+		return issueAt + 1 // fire-and-forget: retires without the fill
+	default: // clStore
 		// The store buffer absorbs the store; the access still moves
 		// cache state and consumes bandwidth on a miss (RFO).
-		c.hier.DemandAccess(e.addr, c.now)
+		issueAt := c.claimIssue(ready)
+		c.hier.DemandAccess(addr, issueAt)
 		c.Stores++
-		completeAt = c.now + 1
-	case isa.OpMul:
-		completeAt = c.now + c.cfg.MulLat
-	case isa.OpDiv, isa.OpRem:
-		completeAt = c.now + c.cfg.DivLat
-	default:
-		completeAt = c.now + c.cfg.IntLat
-	}
-	e.state = stIssued
-	e.completeAt = completeAt
-	c.events.push(event{at: completeAt, thread: int8(t.id), kind: evComplete, gen: t.gen, idx: idx})
-	return true
-}
-
-// observeFill records a newly allocated L1 fill: an MSHR-occupancy
-// observation and, when tracing, a fill span on the mem track covering
-// the in-flight window.
-func (c *Core) observeFill(t *thread, addr int64, res cache.AccessResult) {
-	if c.met != nil && c.met.MSHROccupancy != nil {
-		c.met.MSHROccupancy.Observe(int64(c.mshrInUse))
-	}
-	if c.trace != nil {
-		if dur := res.CompleteAt - c.now; dur > 0 {
-			c.trace.Emit(obs.Event{Cycle: c.now, Dur: dur, Arg: addr, Kind: obs.KindFill,
-				Core: c.id, Ctx: uint8(t.id), Level: uint8(res.Level)})
-		}
+		return issueAt + 1
 	}
 }
 
 // dispatch fetches, functionally executes, and inserts instructions into
-// the ROB, sharing FetchWidth between the threads.
+// the ROB, sharing FetchWidth between the threads. Straight-line ALU
+// runs dispatch as superblocks (see dispatchALURun) unless
+// Config.Interpret forces the per-instruction reference path.
 func (c *Core) dispatch() {
 	slots := c.cfg.FetchWidth
-	c.dispatchedReady = false
 	first := int(c.now & 1)
 	for k := 0; k < 2 && slots > 0; k++ {
 		t := &c.threads[(first+k)&1]
-		for slots > 0 && c.dispatchOne(t) {
-			slots--
+		for slots > 0 {
+			n := c.dispatchRun(t, slots)
+			if n == 0 {
+				break
+			}
+			slots -= n
 		}
 	}
 }
 
+// dispatchRun dispatches the next superblock (or single instruction) of
+// t, bounded by the available fetch slots, and returns how many
+// instructions it consumed (0 when the thread cannot dispatch).
+func (c *Core) dispatchRun(t *thread, slots int) int {
+	if !t.active || t.halted || t.finished || c.err != nil {
+		return 0
+	}
+	if c.now < t.startAt || c.now < t.fetchBlockedUntil || t.serializeBlocked {
+		return 0
+	}
+	robCap := c.robCap()
+	if t.count >= robCap {
+		return 0
+	}
+	if t.pc < 0 || t.pc >= len(t.code) {
+		c.err = fmt.Errorf("cpu: %q thread %d pc %d out of range", t.prog.Name, t.id, t.pc)
+		return 0
+	}
+	d := &t.code[t.pc]
+	if d.class != clALU || c.cfg.Interpret {
+		if c.dispatchOne(t) {
+			return 1
+		}
+		return 0
+	}
+	n := int(d.run)
+	if n > slots {
+		n = slots
+	}
+	if free := robCap - t.count; n > free {
+		n = free
+	}
+	return c.dispatchALURun(t, n)
+}
+
+// dispatchALURun executes and inserts n straight-line ALU instructions
+// starting at t.pc as one fused superblock: one loop over pre-decoded
+// entries with no structural checks (ALU ops have none) and no
+// per-instruction class switch on the way in. Cycle accounting is
+// untouched — each instruction still occupies its own ROB slot, claims
+// its issue port at the first port-free cycle after its operand floor,
+// and claims its destination — so the timing is bit-identical to
+// dispatching the run one instruction at a time (the equivalence suite
+// diffs exactly that via Config.Interpret).
+func (c *Core) dispatchALURun(t *thread, n int) int {
+	code := t.code
+	robLen := len(t.state)
+	pc := t.pc
+	tail := t.tail
+	for i := 0; i < n; i++ {
+		d := &code[pc]
+		var v int64
+		switch d.op {
+		case isa.OpNop:
+		case isa.OpConst:
+			v = d.imm
+		case isa.OpMov:
+			v = t.regs[d.src1]
+		case isa.OpAdd:
+			v = t.regs[d.src1] + t.regs[d.src2]
+		case isa.OpSub:
+			v = t.regs[d.src1] - t.regs[d.src2]
+		case isa.OpMul:
+			v = t.regs[d.src1] * t.regs[d.src2]
+		case isa.OpDiv:
+			if t.regs[d.src2] != 0 {
+				v = t.regs[d.src1] / t.regs[d.src2]
+			}
+		case isa.OpRem:
+			if t.regs[d.src2] != 0 {
+				v = t.regs[d.src1] % t.regs[d.src2]
+			}
+		case isa.OpAnd:
+			v = t.regs[d.src1] & t.regs[d.src2]
+		case isa.OpOr:
+			v = t.regs[d.src1] | t.regs[d.src2]
+		case isa.OpXor:
+			v = t.regs[d.src1] ^ t.regs[d.src2]
+		case isa.OpShl:
+			v = t.regs[d.src1] << (uint64(t.regs[d.src2]) & 63)
+		case isa.OpShr:
+			v = int64(uint64(t.regs[d.src1]) >> (uint64(t.regs[d.src2]) & 63))
+		case isa.OpMin:
+			v = min(t.regs[d.src1], t.regs[d.src2])
+		case isa.OpMax:
+			v = max(t.regs[d.src1], t.regs[d.src2])
+		case isa.OpAddI:
+			v = t.regs[d.src1] + d.imm
+		case isa.OpMulI:
+			v = t.regs[d.src1] * d.imm
+		case isa.OpAndI:
+			v = t.regs[d.src1] & d.imm
+		case isa.OpXorI:
+			v = t.regs[d.src1] ^ d.imm
+		case isa.OpShlI:
+			v = t.regs[d.src1] << (uint64(d.imm) & 63)
+		case isa.OpShrI:
+			v = int64(uint64(t.regs[d.src1]) >> (uint64(d.imm) & 63))
+		default:
+			c.err = fmt.Errorf("cpu: %q pc %d: unimplemented op %s", t.prog.Name, pc, d.op)
+			t.pc = pc
+			t.tail = tail
+			t.count += i
+			return i
+		}
+		idx := int32(tail)
+		ready := c.now + 1
+		if f := t.readyFloor(d); f > ready {
+			ready = f
+		}
+		if d.hasDst {
+			t.regs[d.dst] = v
+			t.producer[d.dst] = idx
+		}
+		t.rpc[idx] = int32(pc)
+		t.cmeta[idx] = d.cmeta
+		t.completeAt[idx] = c.claimIssue(ready) + c.lat[d.latClass]
+		t.state[idx] = stIssued
+		if c.trace != nil {
+			if d.skipFlag {
+				if !t.inSkip {
+					t.inSkip = true
+					c.trace.Emit(obs.Event{Cycle: c.now, Arg: int64(pc),
+						Kind: obs.KindSyncSkip, Core: c.id, Ctx: uint8(t.id)})
+				}
+			} else {
+				t.inSkip = false
+			}
+		}
+		tail++
+		if tail == robLen {
+			tail = 0
+		}
+		pc++
+	}
+	t.tail = tail
+	t.count += n
+	t.pc = pc
+	return n
+}
+
+// dispatchOne is the per-instruction reference path: non-ALU
+// instructions always take it, and Config.Interpret routes everything
+// through it so the differential suite can prove superblock dispatch
+// changes nothing. It works off the original isa.Instr deliberately —
+// this is the interpreter the decoded fast path is measured against.
 func (c *Core) dispatchOne(t *thread) bool {
 	if !t.active || t.halted || t.finished || c.err != nil {
 		return false
 	}
-	if c.now < t.startAt || c.now < t.fetchBlockedUntil || t.serializeBlocked || t.waitBranch >= 0 {
+	if c.now < t.startAt || c.now < t.fetchBlockedUntil || t.serializeBlocked {
 		return false
 	}
 	if t.count >= c.robCap() {
@@ -799,6 +1028,7 @@ func (c *Core) dispatchOne(t *thread) bool {
 		return false
 	}
 	in := &t.prog.Code[t.pc]
+	d := &t.code[t.pc] // decoded twin: class/latency/flag lookups only
 
 	// Structural pre-checks that must hold before consuming the instruction.
 	switch in.Op {
@@ -822,20 +1052,12 @@ func (c *Core) dispatchOne(t *thread) bool {
 	}
 
 	idx := int32(t.tail)
-	e := &t.rob[idx]
-	*e = robEntry{pc: int32(t.pc), op: in.Op, flags: in.Flags}
-	t.deps[idx] = t.deps[idx][:0]
-
-	// Timing dependencies on source registers.
-	nsrc := in.Op.NumSrcs()
-	if nsrc >= 1 {
-		c.addDep(t, idx, e, in.Src1)
-	}
-	if nsrc >= 2 {
-		c.addDep(t, idx, e, in.Src2)
-	}
+	t.rpc[idx] = int32(t.pc)
+	t.cmeta[idx] = d.cmeta
+	floor := t.readyFloor(d)
 
 	// Functional execution (execute-at-dispatch).
+	var memAddr int64
 	nextPC := t.pc + 1
 	switch in.Op {
 	case isa.OpNop:
@@ -888,15 +1110,17 @@ func (c *Core) dispatchOne(t *thread) bool {
 	case isa.OpShrI:
 		t.regs[in.Dst] = int64(uint64(t.regs[in.Src1]) >> (uint64(in.Imm) & 63))
 	case isa.OpLoad:
-		e.addr = t.regs[in.Src1] + in.Imm
-		if e.addr < 0 || e.addr >= c.mem.Size() {
-			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: load at %d", t.prog.Name, t.id, t.pc, e.addr)
+		addr := t.regs[in.Src1] + in.Imm
+		if addr < 0 || addr >= c.mem.Size() {
+			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: load at %d", t.prog.Name, t.id, t.pc, addr)
 			return false
 		}
+		memAddr = addr
+		c.turn()
 		if c.shadow != nil && t.id == 0 {
-			c.shadow.demand(e.addr)
+			c.shadow.demand(addr)
 		}
-		v := c.mem.LoadWord(e.addr)
+		v := c.mem.LoadWord(addr)
 		if c.fault != nil && t.id == 1 &&
 			in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync {
 			// The ghost's sync-counter read may observe the main thread's
@@ -908,42 +1132,47 @@ func (c *Core) dispatchOne(t *thread) bool {
 		t.regs[in.Dst] = v
 		t.lq++
 	case isa.OpStore:
-		e.addr = t.regs[in.Src1] + in.Imm
-		if e.addr < 0 || e.addr >= c.mem.Size() {
-			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: store at %d", t.prog.Name, t.id, t.pc, e.addr)
+		addr := t.regs[in.Src1] + in.Imm
+		if addr < 0 || addr >= c.mem.Size() {
+			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: store at %d", t.prog.Name, t.id, t.pc, addr)
 			return false
 		}
-		c.mem.StoreWord(e.addr, t.regs[in.Src2])
+		memAddr = addr
+		c.turn()
+		c.mem.StoreWord(addr, t.regs[in.Src2])
 		t.sq++
 	case isa.OpPrefetch:
 		// Prefetches to unmapped addresses are dropped, as on real
 		// hardware; clamp so the cache model sees a harmless line. The
 		// shadow oracle sees the raw address — an unmapped prefetch is
 		// precisely the divergence it exists to catch.
-		e.addr = t.regs[in.Src1] + in.Imm
+		addr := t.regs[in.Src1] + in.Imm
 		if c.shadow != nil && t.id == 1 {
-			c.shadow.prefetch(e.addr)
+			c.shadow.prefetch(addr)
 		}
-		if e.addr < 0 || e.addr >= c.mem.Size() {
-			e.addr = 0
+		if addr < 0 || addr >= c.mem.Size() {
+			addr = 0
 		}
+		memAddr = addr
+		c.turn()
 		t.lq++
 	case isa.OpAtomicAdd:
-		e.addr = t.regs[in.Src1] + in.Imm
-		if e.addr < 0 || e.addr >= c.mem.Size() {
-			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: atomic at %d", t.prog.Name, t.id, t.pc, e.addr)
+		addr := t.regs[in.Src1] + in.Imm
+		if addr < 0 || addr >= c.mem.Size() {
+			c.err = fmt.Errorf("cpu: %q thread %d pc %d: segfault: atomic at %d", t.prog.Name, t.id, t.pc, addr)
 			return false
 		}
+		memAddr = addr
+		c.turn()
 		if c.shadow != nil && t.id == 0 {
-			c.shadow.demand(e.addr)
+			c.shadow.demand(addr)
 		}
-		v := c.mem.LoadWord(e.addr) + t.regs[in.Src2]
-		c.mem.StoreWord(e.addr, v)
+		v := c.mem.LoadWord(addr) + t.regs[in.Src2]
+		c.mem.StoreWord(addr, v)
 		t.regs[in.Dst] = v
 		t.lq++
 	case isa.OpSerialize:
 		t.serializeBlocked = true
-		e.state = stSerialize
 		t.serStart = c.now
 		t.serPC = int32(t.pc)
 	case isa.OpJmp:
@@ -983,7 +1212,7 @@ func (c *Core) dispatchOne(t *thread) bool {
 		if c.fault != nil {
 			spawnDelay = c.fault.SpawnDelay()
 		}
-		c.threads[1].reset(c.helpers[hid], c.cfg.ROBSize, c.now+c.cfg.SpawnCostHelper+spawnDelay)
+		c.threads[1].reset(c.helpers[hid], c.dhelpers[hid], c.cfg.ROBSize, c.now+c.cfg.SpawnCostHelper+spawnDelay)
 		// The helper inherits the spawning thread's register values (the
 		// closure the thread-start call captures); extracted ghost
 		// threads rely on this for their live-ins.
@@ -1032,13 +1261,9 @@ func (c *Core) dispatchOne(t *thread) bool {
 		// A sync check: the ghost just read the main thread's published
 		// counter. Its own count is the published ghost counter word
 		// (requires core.SyncParams.Trace).
+		c.turn()
 		lead := c.mem.LoadWord(c.met.GhostCounterAddr) - t.regs[in.Dst]
 		c.met.GhostLead.Observe(lead)
-	}
-
-	// Hard branches stall dispatch until resolution.
-	if in.Op.IsCondBranch() && in.HasFlag(isa.FlagHardBranch) && e.notReady > 0 {
-		t.waitBranch = idx
 	}
 
 	// Claim the destination register for timing purposes.
@@ -1046,42 +1271,45 @@ func (c *Core) dispatchOne(t *thread) bool {
 		t.producer[in.Dst] = idx
 	}
 
-	// Entry scheduling.
-	switch in.Op {
-	case isa.OpSerialize:
-		// handled at the ROB head in commit.
-	case isa.OpSpawn, isa.OpJoin, isa.OpHalt:
-		e.state = stDirect
-		e.completeAt = c.now + 1
-		c.events.push(event{at: e.completeAt, thread: int8(t.id), kind: evComplete, gen: t.gen, idx: idx})
+	// Entry scheduling: fix the issue and completion cycles now.
+	switch d.class {
+	case clSerialize:
+		t.state[idx] = stSerialize
+		t.completeAt[idx] = 0
+	case clSpawn, clJoin, clHalt:
+		// No issue slot and no destination, hence no dependents:
+		// completes next cycle; commit reads completeAt directly.
+		t.state[idx] = stIssued
+		t.completeAt[idx] = c.now + 1
+	case clLoad, clStore, clPrefetch, clAtomic:
+		t.state[idx] = stIssued
+		t.completeAt[idx] = c.issueMem(t, d, memAddr, floor)
 	default:
-		if e.notReady == 0 {
-			e.state = stReady
-			t.readyQ = append(t.readyQ, idx)
-			c.dispatchedReady = true // issue already ran this cycle
-		} else {
-			e.state = stWaiting
+		ready := c.now + 1
+		if floor > ready {
+			ready = floor
+		}
+		t.state[idx] = stIssued
+		t.completeAt[idx] = c.claimIssue(ready) + c.lat[d.latClass]
+		// A hard branch resolving in the future stalls fetch until its
+		// completion cycle plus the redirect penalty. A branch whose
+		// operands were final at dispatch predicts perfectly and costs
+		// nothing — the model the event-driven engine expressed with a
+		// waitBranch stall cleared at the completion event.
+		if d.hard && floor > c.now {
+			if bl := t.completeAt[idx] + c.cfg.BranchPenalty; bl > t.fetchBlockedUntil {
+				t.fetchBlockedUntil = bl
+			}
 		}
 	}
 
-	t.tail = (t.tail + 1) % len(t.rob)
+	t.tail++
+	if t.tail == len(t.state) {
+		t.tail = 0
+	}
 	t.count++
 	t.pc = nextPC
 	return true
-}
-
-// addDep registers a timing dependency of entry idx on register r.
-func (c *Core) addDep(t *thread, idx int32, e *robEntry, r isa.Reg) {
-	p := t.producer[r]
-	if p < 0 {
-		return
-	}
-	pe := &t.rob[p]
-	if pe.state == stDone {
-		return
-	}
-	t.deps[p] = append(t.deps[p], idx)
-	e.notReady++
 }
 
 // JoinWaitImm distinguishes a "wait for the helper to finish" join (used
@@ -1181,7 +1409,7 @@ type PipelineSample struct {
 func (c *Core) Sample() PipelineSample {
 	var s PipelineSample
 	s.Cycle = c.now
-	s.MSHRs = c.mshrInUse
+	s.MSHRs = c.mshrBusy(c.now)
 	for i := range c.threads {
 		t := &c.threads[i]
 		s.ROB[i] = t.count

@@ -1,0 +1,158 @@
+package cpu
+
+import "ghostthread/internal/isa"
+
+// Instruction classes for decoded dispatch. clALU covers every
+// straight-line functional op (including nop): the ops a superblock can
+// execute back-to-back without touching memory, control flow, or thread
+// state.
+const (
+	clALU = iota
+	clLoad
+	clStore
+	clPrefetch
+	clAtomic
+	clSerialize
+	clJmp
+	clCondBr
+	clSpawn
+	clJoin
+	clHalt
+)
+
+// issue-latency classes, resolved against the core's Config at issue time
+// (Core.lat): index 0 = IntLat, 1 = MulLat, 2 = DivLat.
+const (
+	latInt = iota
+	latMul
+	latDiv
+)
+
+// dInstr is one pre-decoded instruction: register indices widened to
+// native ints, the dispatch class and issue-latency class precomputed,
+// and the flag tests the hot path needs folded to booleans, so dispatch,
+// issue, completion, and commit never re-interpret an isa.Instr.
+type dInstr struct {
+	op       isa.Op // original opcode: the execute-switch key
+	class    uint8
+	dst      uint8
+	src1     uint8
+	src2     uint8
+	nsrc     uint8
+	latClass uint8
+	hasDst   bool
+	hard     bool // conditional branch with FlagHardBranch
+	syncLoad bool // load with (FlagSync|FlagSyncSkip) == FlagSync
+	skipFlag bool // FlagSyncSkip set (trace tap)
+	run      uint16
+	cmeta    uint16 // packed commit metadata, copied into the ROB slot
+	imm      int64
+	target   int32
+}
+
+// Commit-side metadata layout (dInstr.cmeta / thread.cmeta): everything
+// retirement needs, packed so commit never touches the 40-byte dInstr.
+// Bits 0–7 are the destination register, bit 8 marks a live destination,
+// and bits 9–10 select which queue entry (if any) the retiring
+// instruction releases.
+const (
+	cmetaDstMask = 0xff
+	cmetaHasDst  = 1 << 8
+	cmetaQShift  = 9
+	cmetaQNone   = 0
+	cmetaQStore  = 1
+	cmetaQLoad   = 2 // loads, prefetches, atomics share the load queue
+)
+
+// decodedProgram caches the decoded form of one isa.Program, built once
+// per Core.Load. Superblocks are encoded by run: for a clALU instruction
+// at pc, code[pc].run is the length of the maximal straight-line ALU run
+// starting there (ending at the first branch, memory op, serialize, or
+// thread op), so every pc is implicitly the entry of its own superblock
+// suffix and dispatch needs no separate block table.
+//
+// There is no invalidation: isa.Program is immutable once built (see the
+// package isa contract) and the decoded image is keyed to the *Program a
+// thread is running, dying with the Load/spawn that installed it. A
+// re-spawned helper re-uses the image decoded at Load.
+type decodedProgram struct {
+	prog *isa.Program
+	code []dInstr
+}
+
+func decodeProgram(p *isa.Program) *decodedProgram {
+	if p == nil {
+		return nil
+	}
+	dp := &decodedProgram{prog: p, code: make([]dInstr, len(p.Code))}
+	for i := range p.Code {
+		in := &p.Code[i]
+		d := &dp.code[i]
+		d.op = in.Op
+		d.dst = uint8(in.Dst)
+		d.src1 = uint8(in.Src1)
+		d.src2 = uint8(in.Src2)
+		d.nsrc = uint8(in.Op.NumSrcs())
+		d.hasDst = in.Op.HasDst()
+		d.imm = in.Imm
+		d.target = in.Target
+		d.hard = in.Op.IsCondBranch() && in.HasFlag(isa.FlagHardBranch)
+		d.syncLoad = in.Op == isa.OpLoad &&
+			in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync
+		d.skipFlag = in.Flags&isa.FlagSyncSkip != 0
+		switch in.Op {
+		case isa.OpLoad:
+			d.class = clLoad
+		case isa.OpStore:
+			d.class = clStore
+		case isa.OpPrefetch:
+			d.class = clPrefetch
+		case isa.OpAtomicAdd:
+			d.class = clAtomic
+		case isa.OpSerialize:
+			d.class = clSerialize
+		case isa.OpJmp:
+			d.class = clJmp
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLE, isa.OpBGT:
+			d.class = clCondBr
+		case isa.OpSpawn:
+			d.class = clSpawn
+		case isa.OpJoin:
+			d.class = clJoin
+		case isa.OpHalt:
+			d.class = clHalt
+		default:
+			d.class = clALU
+		}
+		switch in.Op {
+		case isa.OpMul:
+			d.latClass = latMul
+		case isa.OpDiv, isa.OpRem:
+			d.latClass = latDiv
+		default:
+			d.latClass = latInt
+		}
+		d.cmeta = uint16(d.dst)
+		if d.hasDst {
+			d.cmeta |= cmetaHasDst
+		}
+		switch d.class {
+		case clStore:
+			d.cmeta |= cmetaQStore << cmetaQShift
+		case clLoad, clPrefetch, clAtomic:
+			d.cmeta |= cmetaQLoad << cmetaQShift
+		}
+	}
+	run := 0
+	for i := len(dp.code) - 1; i >= 0; i-- {
+		if dp.code[i].class == clALU {
+			if run < int(^uint16(0)) {
+				run++
+			}
+			dp.code[i].run = uint16(run)
+		} else {
+			run = 0
+		}
+	}
+	return dp
+}

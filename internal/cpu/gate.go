@@ -1,0 +1,60 @@
+package cpu
+
+import "sync"
+
+// StepGate makes concurrent per-core stepping bit-identical to serial
+// stepping. Within one machine cycle, cores step in parallel but their
+// interactions with shared state (the LLC, the memory controller, the
+// functional memory image) must happen in exactly the order the serial
+// loop would produce: all of core 0's accesses, then all of core 1's,
+// and so on. The gate enforces that with a turn token that advances in
+// rank order:
+//
+//   - a core's first shared access in a cycle blocks until every
+//     lower-ranked core has finished its entire step (acquire);
+//   - a core finishing its step waits for its own turn, then passes the
+//     token on (finish) — so a core that touched nothing shared still
+//     hands over in order, and a core whose whole step is private can
+//     run fully overlapped with its neighbours' compute.
+//
+// Ranks are assigned per cycle, ascending over the cores stepping that
+// cycle. The mutex/condvar pair also provides the happens-before edges
+// the race detector needs along the shared-access chain.
+type StepGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	pos  int // rank whose turn it is
+}
+
+// NewStepGate returns a gate ready for its first cycle.
+func NewStepGate() *StepGate {
+	g := &StepGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Begin resets the turn sequence for a new cycle. Call only while no
+// worker is stepping.
+func (g *StepGate) Begin() { g.pos = 0 }
+
+// acquire blocks until every lower-ranked core has finished its step.
+// The turn then belongs to rank until its own finish call.
+func (g *StepGate) acquire(rank int) {
+	g.mu.Lock()
+	for g.pos != rank {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// finish marks rank's step complete and passes the turn to rank+1,
+// waiting for rank's own turn first so turns advance strictly in order.
+func (g *StepGate) finish(rank int) {
+	g.mu.Lock()
+	for g.pos != rank {
+		g.cond.Wait()
+	}
+	g.pos = rank + 1
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

@@ -167,8 +167,10 @@ func adviseOne(name string, cfg sim.Config) AdviseRow {
 	}
 	opts := workloads.DefaultOptions()
 
-	// Measured baseline.
+	// Measured baseline. One instance serves the baseline and ghost runs:
+	// the memory image is snapshotted pristine and restored between runs.
 	inst := build(opts)
+	snap := inst.Mem.Snapshot()
 	base, err := sim.RunProgram(cfg, inst.Mem, inst.Baseline.Main, inst.Baseline.Helpers)
 	if err == nil {
 		err = inst.Check(inst.Mem)
@@ -185,10 +187,10 @@ func adviseOne(name string, cfg sim.Config) AdviseRow {
 	switch {
 	case inst.Ghost != nil:
 		row.GhostKind = "manual"
-		ginst := build(opts)
-		ghost, err = sim.RunProgram(cfg, ginst.Mem, ginst.Ghost.Main, ginst.Ghost.Helpers)
+		inst.Mem.Restore(snap)
+		ghost, err = sim.RunProgram(cfg, inst.Mem, inst.Ghost.Main, inst.Ghost.Helpers)
 		if err == nil {
-			err = ginst.CheckFor("ghost")(ginst.Mem)
+			err = inst.CheckFor("ghost")(inst.Mem)
 		}
 	default:
 		targets := lint.StaticTargets(inst.Baseline.Main)
@@ -199,7 +201,7 @@ func adviseOne(name string, cfg sim.Config) AdviseRow {
 			return row
 		}
 		row.GhostKind = "compiler"
-		ghost, err = runCompilerGhost(build, opts, targets, cfg)
+		ghost, err = runCompilerGhost(inst, snap, opts, targets, cfg)
 	}
 	if err != nil {
 		// A ghost that cannot even run (extraction failure, check

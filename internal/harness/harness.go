@@ -85,6 +85,7 @@ type profKey struct {
 	maxCycles   int64
 	sampleEvery int64
 	cycleStep   bool
+	serialStep  bool
 	fault       fault.Config
 	shadow      sim.ShadowConfig
 }
@@ -125,6 +126,7 @@ func profileWorkload(workload string, build workloads.Builder, cfg sim.Config) (
 		maxCycles:   cfg.MaxCycles,
 		sampleEvery: cfg.SampleEvery,
 		cycleStep:   cfg.CycleStep,
+		serialStep:  cfg.SerialStep,
 		fault:       cfg.Fault,
 		shadow:      cfg.Shadow,
 	}
@@ -135,7 +137,16 @@ func profileWorkload(workload string, build workloads.Builder, cfg sim.Config) (
 		profCache[key] = e
 	}
 	profMu.Unlock()
-	e.once.Do(func() { e.rep, e.err = runProfile(workload, build, cfg) })
+	e.once.Do(func() {
+		if rep := diskCacheLoad(key); rep != nil {
+			e.rep = rep
+			return
+		}
+		e.rep, e.err = runProfile(workload, build, cfg)
+		if e.err == nil {
+			diskCacheStore(key, e.rep)
+		}
+	})
 	return e.rep, e.err
 }
 
@@ -209,9 +220,15 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 	}
 	targets := core.SelectTargets(rep, hp)
 
+	// One instance serves every variant run: programs are immutable once
+	// built, and the memory image is snapshotted here and restored before
+	// each run, so a shared instance is indistinguishable from a fresh
+	// build per variant — at one workload build instead of six (for the
+	// graph workloads, building costs more than simulating a variant).
 	evalOpts := workloads.DefaultOptions()
-	probe := build(evalOpts)
-	decision := core.Decide(targets, probe.Ghost != nil, probe.Parallel != nil)
+	inst := build(evalOpts)
+	snap := inst.Mem.Snapshot()
+	decision := core.Decide(targets, inst.Ghost != nil, inst.Parallel != nil)
 
 	row := &Row{
 		Workload:     workload,
@@ -226,11 +243,11 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 	em := energy.DefaultModel()
 
 	runVariant := func(vname string) (sim.Result, error) {
-		inst := build(evalOpts)
 		v := inst.VariantByName(vname)
 		if v == nil {
 			return sim.Result{}, fmt.Errorf("no %s variant", vname)
 		}
+		inst.Mem.Restore(snap)
 		res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
 		if err != nil {
 			return sim.Result{}, err
@@ -265,7 +282,7 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 	record(TechSWPF, res, err)
 
 	// SMT OpenMP (x when parallelization needs rewriting).
-	if probe.Parallel == nil {
+	if inst.Parallel == nil {
 		row.Unavailable[TechSMT] = "requires code rewriting"
 	} else {
 		res, err = runVariant("smt-openmp")
@@ -276,8 +293,8 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 	// static safety plan before they are allowed near the simulator.
 	switch decision {
 	case core.UseGhost:
-		if probe.Ghost != nil {
-			_, err = core.Plan(probe.Ghost.Helpers, probe.Counters)
+		if inst.Ghost != nil {
+			_, err = core.Plan(inst.Ghost.Helpers, inst.Counters)
 		}
 		if err != nil {
 			err = fmt.Errorf("ghost plan: %w", err)
@@ -295,12 +312,12 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 	// baseline when targets exist; otherwise mirror the fallback.
 	switch {
 	case len(targets) > 0:
-		res, err = runCompilerGhost(build, evalOpts, targets, cfg)
+		res, err = runCompilerGhost(inst, snap, evalOpts, targets, cfg)
 		if err == nil {
 			row.SimCycles += res.Cycles
 		}
 		record(TechCompiler, res, err)
-	case probe.Parallel != nil:
+	case inst.Parallel != nil:
 		res, err = runVariant("smt-openmp")
 		record(TechCompiler, res, err)
 	default:
@@ -309,11 +326,11 @@ func Eval(workload string, cfg sim.Config, hp core.HeuristicParams) (*Row, error
 	return row, nil
 }
 
-// runCompilerGhost extracts and runs the compiler ghost on a fresh
-// evaluation instance. Extraction or run failures (including the
-// segfaults the paper reports for sssp) surface as errors → 'x' ticks.
-func runCompilerGhost(build workloads.Builder, opts workloads.Options, targets []core.Target, cfg sim.Config) (sim.Result, error) {
-	inst := build(opts)
+// runCompilerGhost extracts and runs the compiler ghost on the shared
+// evaluation instance (restored to its pristine image first). Extraction
+// or run failures (including the segfaults the paper reports for sssp)
+// surface as errors → 'x' ticks.
+func runCompilerGhost(inst *workloads.Instance, snap []int64, opts workloads.Options, targets []core.Target, cfg sim.Config) (sim.Result, error) {
 	// AllowUnproved: the paper runs compiler slices even when translation
 	// validation cannot prove the address stream (they simply prefetch
 	// badly); gtlint/gtverify surface the UNPROVED verdicts separately.
@@ -322,6 +339,7 @@ func runCompilerGhost(build workloads.Builder, opts workloads.Options, targets [
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("extraction: %w", err)
 	}
+	inst.Mem.Restore(snap)
 	res, err := sim.RunProgram(cfg, inst.Mem, ext.Main, []*isa.Program{ext.Ghost})
 	if err != nil {
 		return sim.Result{}, err

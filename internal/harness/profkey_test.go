@@ -21,6 +21,7 @@ var profKeyField = map[string]string{
 	"MaxCycles":   "maxCycles",
 	"SampleEvery": "sampleEvery",
 	"CycleStep":   "cycleStep",
+	"SerialStep":  "serialStep",
 	"Fault":       "fault",
 	"Shadow":      "shadow",
 }

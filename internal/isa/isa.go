@@ -208,6 +208,15 @@ type Loop struct {
 }
 
 // Program is a complete IR routine for one hardware thread.
+//
+// Immutability contract: a Program is frozen the moment Builder.Build
+// returns it. No pass mutates Code, Loops, or any Instr in place —
+// transformation passes (the slicer, the sync inserter, fuzz mutators)
+// build a new Program via a fresh Builder. Consumers rely on this:
+// internal/cpu decodes each Program once at Core.Load into a cached
+// superblock image with no invalidation path, and the analysis packages
+// share Programs across goroutines without synchronization. Breaking
+// the contract silently desynchronizes the decoded image from the IR.
 type Program struct {
 	Name  string
 	Code  []Instr

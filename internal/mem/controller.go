@@ -26,21 +26,44 @@ func DefaultControllerConfig() ControllerConfig {
 	}
 }
 
-// Controller models the shared memory channel. All cores (and the
-// pressure agents) schedule their line transfers through it, so DRAM
-// bandwidth contention between SMT threads, cores, and background load
-// emerges from the shared nextFree horizon.
+// slot ring sizing: the channel books transfers into discrete slots of
+// CyclesPerLine cycles. The ring tracks claims this far ahead of the
+// earliest live request; a transfer booked further out than that is
+// latency-bound, not bandwidth-bound, and goes unqueued.
+const (
+	slotRingBits = 12
+	slotRingLen  = 1 << slotRingBits
+	slotRingMask = slotRingLen - 1
+)
+
+// Controller models the shared memory channel. Time is divided into
+// slots of CyclesPerLine cycles, each carrying at most one line
+// transfer; a transfer requested at cycle t claims the first free slot
+// at or after t. All cores (and the pressure agents) book through the
+// same slot ring, so DRAM bandwidth contention between SMT threads,
+// cores, and background load emerges from slot occupancy.
+//
+// Reservation (rather than a scalar next-free horizon) makes the model
+// robust to requests arriving out of time order: the analytic core fixes
+// a dependent chain's fill times the moment the chain dispatches, so a
+// request for cycle 500 can reach the controller before an independent
+// request for cycle 300. Each claims its own slot; neither queues behind
+// the other. With a monotone request stream the model reduces exactly to
+// the scalar-horizon one: back-to-back requests serialise at
+// CyclesPerLine spacing.
 type Controller struct {
 	cfg ControllerConfig
 
-	nextFree      int64 // earliest cycle the channel can start a transfer
-	pressureAcct  int64 // cycle up to which pressure traffic is accounted
-	pressureCarry int64 // fractional pressure lines carried between requests (x1000)
+	// slotStamp[k & slotRingMask] == k marks absolute slot k claimed.
+	// Stale stamps (a slot index from a lapped, past window) read as
+	// free, so the ring never needs clearing as time advances.
+	slotStamp [slotRingLen]int64
+	lastEnd   int64 // end cycle of the latest-booked slot (diagnostics)
 
 	// Latency jitter fault injection (jitterMax == 0 = off). The stream
 	// draws once per scheduled transfer — inside Schedule, the only place
-	// controller state may change — so jitter composes with event skipping
-	// and with the pressure-token catch-up constraint (see NextFree).
+	// controller state may change — so the jitter schedule is a function
+	// of the request sequence alone and composes with event skipping.
 	jitterMax int64
 	jitter    fault.Stream
 	jitter0   fault.Stream // snapshot restored by Reset
@@ -55,37 +78,57 @@ func NewController(cfg ControllerConfig) *Controller {
 	if cfg.CyclesPerLine <= 0 {
 		cfg.CyclesPerLine = 1
 	}
-	return &Controller{cfg: cfg}
+	c := &Controller{cfg: cfg}
+	c.resetSlots()
+	return c
+}
+
+func (c *Controller) resetSlots() {
+	for i := range c.slotStamp {
+		c.slotStamp[i] = -1
+	}
 }
 
 // Config returns the controller configuration.
 func (c *Controller) Config() ControllerConfig { return c.cfg }
 
+// pressureBusy reports whether absolute slot k is consumed by the
+// synthetic background traffic: pressure occupies exactly the slots
+// where the cumulative pressure-line count ticks over, spreading
+// PressureLinesPerKCycle line transfers evenly across every 1000 cycles.
+// Being a pure function of the slot index, the pressure schedule is
+// identical no matter when or in what order demand requests arrive.
+func (c *Controller) pressureBusy(k int64) bool {
+	p := c.cfg.PressureLinesPerKCycle * c.cfg.CyclesPerLine
+	if p <= 0 {
+		return false
+	}
+	if p >= 1000 {
+		p = 999 // saturated channel: leave a trickle so demand still drains
+	}
+	return k*p/1000 != (k-1)*p/1000
+}
+
 // Schedule books a line transfer requested at cycle now and returns the
 // cycle at which the data arrives at the LLC boundary. Queueing delay
-// accumulates when requests arrive faster than the channel drains,
-// including transfers consumed by pressure agents.
+// accumulates when requests contend for the same slots, including slots
+// consumed by pressure agents.
 func (c *Controller) Schedule(now int64) int64 {
-	if c.cfg.PressureLinesPerKCycle > 0 && now > c.pressureAcct {
-		// Account the pressure traffic that arrived since the last
-		// demand request: it occupies channel slots ahead of us.
-		elapsed := now - c.pressureAcct
-		c.pressureCarry += elapsed * c.cfg.PressureLinesPerKCycle
-		lines := c.pressureCarry / 1000
-		c.pressureCarry %= 1000
-		c.pressureAcct = now
-		occupied := lines * c.cfg.CyclesPerLine
-		if c.nextFree < now {
-			// The channel was idle; pressure can only consume idle
-			// slots up to now.
-			c.nextFree = min(c.nextFree+occupied, now)
-		} else {
-			c.nextFree += occupied
+	cpl := c.cfg.CyclesPerLine
+	k0 := now / cpl
+	k := k0
+	for k-k0 < slotRingLen {
+		if !c.pressureBusy(k) && c.slotStamp[k&slotRingMask] != k {
+			c.slotStamp[k&slotRingMask] = k
+			break
 		}
+		k++
 	}
-	start := max(now, c.nextFree)
-	c.nextFree = start + c.cfg.CyclesPerLine
 	c.Transfers++
+	start := max(now, k*cpl)
+	if end := (k + 1) * cpl; end > c.lastEnd {
+		c.lastEnd = end
+	}
 	lat := c.cfg.AccessLatency
 	if c.jitterMax > 0 {
 		lat += c.jitter.Intn(c.jitterMax + 1)
@@ -103,25 +146,18 @@ func (c *Controller) SetJitter(max int64, s fault.Stream) {
 	c.jitter0 = s
 }
 
-// NextFree returns the earliest cycle at which the channel can start
-// another transfer. It is a read-only probe for diagnostics and the
-// event-skip machinery: the controller itself never needs a wake-up,
-// because it only changes state inside Schedule — and the pressure-agent
-// token catch-up MUST happen only there. Splitting the catch-up across
-// extra observation points would change results: the idle clamp in
-// Schedule (`min(nextFree+occupied, now)`) discards pressure lines that
-// found the channel idle, and how many are discarded depends on exactly
-// when catch-up runs. Callers must therefore never add intermediate
-// catch-up calls on the skip path.
-func (c *Controller) NextFree() int64 { return c.nextFree }
+// NextFree returns the end cycle of the latest slot booked so far (zero
+// on a fresh controller). It is a read-only probe for diagnostics: the
+// controller never needs a wake-up, because it only changes state inside
+// Schedule, and a probe must never perturb the booking state.
+func (c *Controller) NextFree() int64 { return c.lastEnd }
 
 // Reset clears timing state but keeps the configuration; the jitter
 // stream rewinds to its SetJitter snapshot so a reset run replays the
 // same schedule.
 func (c *Controller) Reset() {
-	c.nextFree = 0
-	c.pressureAcct = 0
-	c.pressureCarry = 0
+	c.resetSlots()
+	c.lastEnd = 0
 	c.Transfers = 0
 	c.jitter = c.jitter0
 }

@@ -58,6 +58,23 @@ func (m *Memory) CopyIn(addr int64, vs []int64) {
 	}
 }
 
+// Snapshot returns a copy of the full memory contents, for restoring
+// with Restore. Building a workload's memory image can cost more than
+// simulating a variant on it; snapshot/restore lets one built image be
+// replayed across many runs.
+func (m *Memory) Snapshot() []int64 {
+	return append([]int64(nil), m.words...)
+}
+
+// Restore overwrites the contents with a snapshot taken from this (or an
+// equal-sized) memory.
+func (m *Memory) Restore(snap []int64) {
+	if len(snap) != len(m.words) {
+		panic(fmt.Sprintf("mem: restore size mismatch: snapshot %d words, memory %d", len(snap), len(m.words)))
+	}
+	copy(m.words, snap)
+}
+
 // Slice returns a view of words [addr, addr+n) for test inspection.
 func (m *Memory) Slice(addr, n int64) []int64 {
 	if addr < 0 || addr+n > int64(len(m.words)) {

@@ -8,6 +8,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ghostthread/internal/cache"
 	"ghostthread/internal/cpu"
@@ -38,6 +41,15 @@ type Config struct {
 	// equivalence tests prove it); this exists so they can keep proving
 	// it, and as an escape hatch when bisecting simulator changes.
 	CycleStep bool
+
+	// SerialStep forces serial in-index-order core stepping inside
+	// multi-core runs, disabling the epoch-parallel worker pool (see
+	// runParallel). Results are bit-identical either way — the parallel
+	// path hands the shared memory system to cores in exactly the serial
+	// order — and, like CycleStep, this escape hatch exists so the
+	// equivalence suites can keep proving that, and for bisection.
+	// Single-core machines always step serially.
+	SerialStep bool
 
 	// Fault selects deterministic fault injection (see internal/fault).
 	// The zero value disables it. Faults perturb timing only: the final
@@ -97,6 +109,14 @@ type System struct {
 
 	finishAt []int64
 	now      int64
+
+	// traced[i]/metered[i] mark core i as carrying an attached recorder
+	// or metrics hooks. Observed runs step serially: a shared recorder's
+	// event order (and the metrics observation order) is defined as the
+	// serial core order, which parallel private-compute overlap would
+	// scramble without changing any timing.
+	traced  []bool
+	metered []bool
 }
 
 // New builds the machine over m.
@@ -111,6 +131,8 @@ func New(cfg Config, m *mem.Memory) *System {
 		llc:      cache.New("LLC", cfg.LLC),
 		cores:    make([]*cpu.Core, cfg.Cores),
 		finishAt: make([]int64, cfg.Cores),
+		traced:   make([]bool, cfg.Cores),
+		metered:  make([]bool, cfg.Cores),
 	}
 	for i := range s.cores {
 		h := cache.NewHierarchy(cfg.Hier, s.llc, s.mc)
@@ -151,11 +173,19 @@ func (s *System) Load(i int, main *isa.Program, helpers []*isa.Program) {
 }
 
 // SetTrace attaches an event recorder to core i (nil detaches). Cores
-// may share one recorder — events carry the core id.
-func (s *System) SetTrace(i int, r *obs.Recorder) { s.cores[i].SetTrace(r, i) }
+// may share one recorder — events carry the core id. A traced machine
+// steps its cores serially (see System.traced).
+func (s *System) SetTrace(i int, r *obs.Recorder) {
+	s.cores[i].SetTrace(r, i)
+	s.traced[i] = r != nil
+}
 
-// SetMetrics attaches histogram hooks to core i (nil detaches).
-func (s *System) SetMetrics(i int, m *obs.CoreMetrics) { s.cores[i].SetMetrics(m) }
+// SetMetrics attaches histogram hooks to core i (nil detaches). A
+// metered machine steps its cores serially (see System.traced).
+func (s *System) SetMetrics(i int, m *obs.CoreMetrics) {
+	s.cores[i].SetMetrics(m)
+	s.metered[i] = m != nil
+}
 
 // Result summarises a run.
 type Result struct {
@@ -228,8 +258,16 @@ func (e *BudgetError) Error() string {
 // Run simulates until every core is done, returning aggregate statistics.
 // Unless cfg.CycleStep is set, it fast-forwards over spans in which no
 // core can change state (see skipAhead); the Result is bit-identical
-// either way.
+// either way. Multi-core machines step their cores in parallel (see
+// runParallel) unless cfg.SerialStep is set or an observer is attached;
+// that axis, too, is bit-identical.
 func (s *System) Run() (Result, error) {
+	if s.parallelOK() {
+		if err := s.runParallel(); err != nil {
+			return Result{}, err
+		}
+		return s.collect()
+	}
 	sampleAt := s.cfg.SampleEvery
 	for {
 		allDone := true
@@ -257,7 +295,28 @@ func (s *System) Run() (Result, error) {
 			s.skipAhead(sampleAt)
 		}
 	}
+	return s.collect()
+}
 
+// parallelOK reports whether this run may use the epoch-parallel worker
+// pool: a multi-core machine with no serial-step override and no
+// attached observer (recorders and metrics define their emission order
+// as the serial core order — see System.traced — so observed runs take
+// the reference loop; their timing is identical either way).
+func (s *System) parallelOK() bool {
+	if len(s.cores) < 2 || s.cfg.SerialStep {
+		return false
+	}
+	for i := range s.cores {
+		if s.traced[i] || s.metered[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collect gathers the aggregate Result after the main loop finishes.
+func (s *System) collect() (Result, error) {
 	var res Result
 	res.CoreCycles = make([]int64, len(s.cores))
 	for i, c := range s.cores {
@@ -311,10 +370,10 @@ func (s *System) Run() (Result, error) {
 // at the same cycle as the reference loop).
 //
 // The memory controller needs no entry in the next-event computation: it
-// only acts when a core sends it an access, and its pressure-agent token
-// accounting is deliberately lazy — it catches up at each demand access
-// (see mem.Controller.Schedule), which skipping leaves untouched because
-// it introduces no extra catch-up points.
+// only acts when a core sends it an access, and its pressure schedule is
+// a pure function of the slot index (see mem.Controller.pressureBusy), so
+// skipping over a span changes nothing about which slots the background
+// traffic occupies.
 func (s *System) skipAhead(sampleAt int64) {
 	next := int64(math.MaxInt64)
 	for _, c := range s.cores {
@@ -343,6 +402,136 @@ func (s *System) skipAhead(sampleAt int64) {
 		}
 	}
 	s.now = target
+}
+
+// runParallel is the multi-core main loop: within each stepped cycle the
+// unfinished cores step concurrently on a bounded worker pool, while a
+// cpu.StepGate forces their shared-state interactions (the LLC, the
+// memory controller, the functional memory image) into exactly the
+// serial core order — all of core 0's accesses, then all of core 1's,
+// and so on — so the run is bit-identical to the serial loop (DESIGN.md
+// §13 extends §9's equivalence argument). Each core's private work
+// (register execution, probes of its own L1/L2, ROB bookkeeping)
+// overlaps freely; only a step's first shared access blocks on the turn
+// token. The end-of-epoch barrier doubles as the safety point for the
+// shared event-skip machinery: NextEvent/SkipTo run on the coordinating
+// goroutine only while no worker is stepping.
+func (s *System) runParallel() error {
+	gate := cpu.NewStepGate()
+	pool := newStepPool(min(len(s.cores), runtime.GOMAXPROCS(0)))
+	defer pool.shutdown()
+
+	stepping := make([]*cpu.Core, 0, len(s.cores))
+	sampleAt := s.cfg.SampleEvery
+	for {
+		stepping = stepping[:0]
+		for i, c := range s.cores {
+			if c.Done() {
+				if s.finishAt[i] < 0 {
+					s.finishAt[i] = c.Now()
+				}
+				continue
+			}
+			// Ranks are dense over this cycle's stepping cores, in core
+			// order: the turn token visits exactly the cores that step.
+			c.SetGate(gate, len(stepping))
+			stepping = append(stepping, c)
+		}
+		if len(stepping) > 0 {
+			gate.Begin()
+			pool.stepAll(stepping)
+		}
+		s.now++
+		if s.cfg.Sampler != nil && sampleAt > 0 && s.now%sampleAt == 0 {
+			s.cfg.Sampler(s.now)
+		}
+		if len(stepping) == 0 {
+			break
+		}
+		if s.now >= s.cfg.MaxCycles {
+			return &BudgetError{Limit: s.cfg.MaxCycles}
+		}
+		if !s.cfg.CycleStep {
+			s.skipAhead(sampleAt)
+		}
+	}
+	for _, c := range s.cores {
+		c.SetGate(nil, 0)
+	}
+	return nil
+}
+
+// stepPool is the bounded worker pool behind runParallel: a fixed set of
+// goroutines that, once per epoch, claim stepping cores off a shared
+// counter in rank order and step them. Claiming in rank order makes the
+// pool deadlock-free at any size: a worker blocked on rank r's turn can
+// only be waiting on lower ranks, every one of which has already been
+// claimed by some worker (the claimed set is always a rank prefix), and
+// rank `pos` itself is never turn-blocked. The epoch hand-off reuses the
+// pool's own fields, so steady-state stepping allocates nothing.
+type stepPool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	epoch    uint64
+	stop     bool
+	stepping []*cpu.Core
+	next     atomic.Int64
+	wg       sync.WaitGroup
+}
+
+func newStepPool(workers int) *stepPool {
+	p := &stepPool{}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		go p.work()
+	}
+	return p
+}
+
+// stepAll steps every core in the slice (rank = slice index) and returns
+// once all have finished their cycle.
+func (p *stepPool) stepAll(cores []*cpu.Core) {
+	p.next.Store(0)
+	p.wg.Add(len(cores))
+	p.mu.Lock()
+	p.stepping = cores
+	p.epoch++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *stepPool) work() {
+	var seen uint64
+	for {
+		p.mu.Lock()
+		for p.epoch == seen && !p.stop {
+			p.cond.Wait()
+		}
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		seen = p.epoch
+		cores := p.stepping
+		p.mu.Unlock()
+		for {
+			k := p.next.Add(1) - 1
+			if int(k) >= len(cores) {
+				break
+			}
+			cores[k].Step()
+			p.wg.Done()
+		}
+	}
+}
+
+// shutdown terminates the workers (idempotent; callers hold no epoch).
+func (p *stepPool) shutdown() {
+	p.mu.Lock()
+	p.stop = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // RunProgram is the single-core convenience path: build a machine with
