@@ -14,9 +14,11 @@ package sim_test
 // turn-gate discipline.
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"ghostthread/internal/fault"
 	"ghostthread/internal/sim"
@@ -170,4 +172,42 @@ func TestModeEquivalenceMultiCoreComposed(t *testing.T) {
 	}
 	res, img := runMultiMode(t, base, false, false, false)
 	assertMode(t, "pr.kron/multighost(faulted+shadowed)", "parallel", refRes, res, refMem, img)
+}
+
+// TestBudgetErrorDetachesGates proves runParallel's error path leaves no
+// core attached to the step gate: a parallel run that exhausts MaxCycles
+// must still allow the cores to be stepped directly afterwards. Before
+// the deferred SetGate(nil, 0) cleanup, the BudgetError return skipped
+// gate detachment and this test deadlocked in gate.acquire.
+func TestBudgetErrorDetachesGates(t *testing.T) {
+	inst, err := workloads.NewMulti("pr", "kron", 4, workloads.MultiGhost, workloads.ProfileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = inst.Cores
+	cfg.MaxCycles = 1_000
+	s := sim.New(cfg, inst.Mem)
+	for c := range inst.Per {
+		s.Load(c, inst.Per[c].Main, inst.Per[c].Helpers)
+	}
+	var be *sim.BudgetError
+	if _, err := s.Run(); !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *sim.BudgetError", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < s.Cores(); i++ {
+			c := s.Core(i)
+			for n := 0; n < 100 && !c.Done(); n++ {
+				c.Step()
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stepping after BudgetError deadlocked: cores still gated")
+	}
 }

@@ -420,6 +420,14 @@ func (s *System) runParallel() error {
 	gate := cpu.NewStepGate()
 	pool := newStepPool(min(len(s.cores), runtime.GOMAXPROCS(0)))
 	defer pool.shutdown()
+	// Detach gates on every exit path (including the BudgetError return):
+	// a core left gated with no coordinator would deadlock any later
+	// Step/Run on this System inside gate.acquire.
+	defer func() {
+		for _, c := range s.cores {
+			c.SetGate(nil, 0)
+		}
+	}()
 
 	stepping := make([]*cpu.Core, 0, len(s.cores))
 	sampleAt := s.cfg.SampleEvery
@@ -455,9 +463,6 @@ func (s *System) runParallel() error {
 			s.skipAhead(sampleAt)
 		}
 	}
-	for _, c := range s.cores {
-		c.SetGate(nil, 0)
-	}
 	return nil
 }
 
@@ -469,13 +474,29 @@ func (s *System) runParallel() error {
 // claimed by some worker (the claimed set is always a rank prefix), and
 // rank `pos` itself is never turn-blocked. The epoch hand-off reuses the
 // pool's own fields, so steady-state stepping allocates nothing.
+//
+// Claims are epoch-validated: `next` packs the epoch number into its
+// high 32 bits and the rank cursor into its low 32, and workers claim
+// with a CompareAndSwap that only succeeds while the counter still
+// carries the epoch they were woken for. This closes the straggler
+// race a blind fetch-and-add would have: a worker preempted at the top
+// of its claim loop can resume after stepAll has already returned
+// (its wg.Done for the final core happens-before its next claim
+// attempt, but nothing orders that attempt before the coordinator's
+// next epoch). Under CAS the stale attempt fails the tag comparison —
+// it can neither consume a rank from the new epoch (which would strand
+// a core and hang wg.Wait), nor step against its stale `cores` slice
+// while the coordinator is re-appending into the shared backing array,
+// nor run wg.Done against the new epoch's counter. (The tag is the
+// epoch mod 2^32; a false match needs a worker frozen at the same load
+// for an exact multiple of 2^32 consecutive epochs.)
 type stepPool struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	epoch    uint64
 	stop     bool
 	stepping []*cpu.Core
-	next     atomic.Int64
+	next     atomic.Uint64 // epoch<<32 | rank cursor
 	wg       sync.WaitGroup
 }
 
@@ -489,13 +510,16 @@ func newStepPool(workers int) *stepPool {
 }
 
 // stepAll steps every core in the slice (rank = slice index) and returns
-// once all have finished their cycle.
+// once all have finished their cycle. The epoch bump, counter re-tag,
+// slice publish, and wg.Add all happen under the mutex before the
+// broadcast, so a worker that observes the new epoch also observes the
+// new counter tag and a WaitGroup already sized for it.
 func (p *stepPool) stepAll(cores []*cpu.Core) {
-	p.next.Store(0)
-	p.wg.Add(len(cores))
 	p.mu.Lock()
-	p.stepping = cores
 	p.epoch++
+	p.next.Store(p.epoch << 32)
+	p.stepping = cores
+	p.wg.Add(len(cores))
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
@@ -515,10 +539,18 @@ func (p *stepPool) work() {
 		seen = p.epoch
 		cores := p.stepping
 		p.mu.Unlock()
+		tag := seen << 32
 		for {
-			k := p.next.Add(1) - 1
-			if int(k) >= len(cores) {
+			v := p.next.Load()
+			if v&^uint64(1<<32-1) != tag {
+				break // coordinator has moved to a later epoch
+			}
+			k := int(uint32(v))
+			if k >= len(cores) {
 				break
+			}
+			if !p.next.CompareAndSwap(v, v+1) {
+				continue
 			}
 			cores[k].Step()
 			p.wg.Done()
