@@ -1,7 +1,7 @@
 GO ?= go
 TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke profile-fig6 trace-smoke fault-smoke ci
+.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke profile-fig6 trace-smoke fault-smoke metrics-smoke metrics-golden ci
 
 build:
 	$(GO) build ./...
@@ -97,4 +97,28 @@ fault-smoke:
 	@grep -q '"level":"panic"' FAULT_resilience.json
 	@grep -q '"workload":"camel".*"check_ok":true' FAULT_resilience.json
 
-ci: vet build race lint detlint advise-smoke verify-smoke bench-smoke trace-smoke fault-smoke
+# Telemetry smoke: the windowed time-series NDJSON for camel/ghost at
+# profile scale diffed against the checked-in golden (the stream is
+# deterministic, so any drift means window accounting changed behavior —
+# fix it, or review and re-bless with `make metrics-golden`), then
+# bfs.kron's stream must detect at least one phase boundary, and the
+# observed-parallel differential suite runs under the race detector
+# (sharded recorders let traced runs take the parallel stepping path;
+# -race proves the shards really don't share). Chrome counter-track
+# export is validated by TestChromeTraceWindowsCounters in tier-1.
+metrics-smoke:
+	$(GO) run ./cmd/gtrun -workload camel -variant ghost -scale profile \
+		-window 20000 -window-out METRICS_camel.ndjson > /dev/null
+	diff -u testdata/metrics_golden.ndjson METRICS_camel.ndjson
+	$(GO) run ./cmd/gtrun -workload bfs.kron -variant ghost -scale profile \
+		-window 20000 -window-out METRICS_bfs.ndjson > /dev/null
+	@grep -q '"phase_boundary":true' METRICS_bfs.ndjson
+	$(GO) test -race -timeout 20m ./internal/sim -run TestShardedObservationRunsParallel -count=1
+
+# Re-bless the telemetry golden after a reviewed change to window
+# accounting. Inspect the diff before committing.
+metrics-golden:
+	$(GO) run ./cmd/gtrun -workload camel -variant ghost -scale profile \
+		-window 20000 -window-out testdata/metrics_golden.ndjson > /dev/null
+
+ci: vet build race lint detlint advise-smoke verify-smoke bench-smoke trace-smoke fault-smoke metrics-smoke

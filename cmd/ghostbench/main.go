@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"ghostthread/internal/harness"
+	"ghostthread/internal/obs"
 	"ghostthread/internal/sim"
 	"ghostthread/internal/workloads"
 )
@@ -53,6 +54,8 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 1, "master seed for the resilience fault schedules")
 		budget     = flag.Int64("budget", 0, "per-run cycle-budget watchdog for resilience (0 = machine default)")
 		panicAt    = flag.String("panic-at", "", "resilience: panic inside this workload's worker (tests panic recovery)")
+		window     = flag.Int64("window", 0, "resilience: emit a windowed-telemetry sample every N cycles (0 = off; enables sync tracing)")
+		windowOut  = flag.String("window-out", "", "resilience: write telemetry NDJSON here (tail with gtmon -in FILE; empty = discard)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile (after the experiment) to this file")
 		profDir    = flag.String("profile-cache", "", "directory for the on-disk profiling-report cache (empty = in-process memo only)")
@@ -208,6 +211,26 @@ func main() {
 		}
 		if *scale == "profile" {
 			opts.BuildOpts = workloads.ProfileOptions()
+		}
+		if *window > 0 {
+			opts.Window = *window
+			// The lead series needs the ghost's published counter, so turn
+			// on sync tracing — symmetric across every level and variant,
+			// so speedup ratios still compare like with like.
+			if opts.BuildOpts == (workloads.Options{}) {
+				opts.BuildOpts = workloads.DefaultOptions()
+			}
+			opts.BuildOpts.Sync.Trace = true
+			if *windowOut != "" {
+				f, err := os.Create(*windowOut)
+				check(err)
+				defer f.Close()
+				// Unbuffered line-at-a-time writes: each flushed window
+				// lands on disk immediately, so gtmon can tail the file
+				// live and a killed sweep keeps its samples.
+				wenc := json.NewEncoder(f)
+				opts.WindowSink = func(r obs.MonitorRow) { check(wenc.Encode(r)) }
+			}
 		}
 		var sink func(harness.ResilienceRow)
 		if *jsonOut {

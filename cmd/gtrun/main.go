@@ -16,24 +16,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ghostthread/internal/fault"
+	"ghostthread/internal/obs"
 	"ghostthread/internal/sim"
 	"ghostthread/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "camel", "workload name (see -list)")
-		variant  = flag.String("variant", "baseline", "baseline | swpf | smt-openmp | ghost")
-		scale    = flag.String("scale", "eval", "eval | profile")
-		busy     = flag.Bool("busy", false, "add busy-server memory bandwidth pressure")
-		faultArg = flag.String("fault", "", "fault-injection spec, e.g. seed=1,preempt=20000,plen=4000 ('off' or empty = none)")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload  = flag.String("workload", "camel", "workload name (see -list)")
+		variant   = flag.String("variant", "baseline", "baseline | swpf | smt-openmp | ghost")
+		scale     = flag.String("scale", "eval", "eval | profile")
+		busy      = flag.Bool("busy", false, "add busy-server memory bandwidth pressure")
+		faultArg  = flag.String("fault", "", "fault-injection spec, e.g. seed=1,preempt=20000,plen=4000 ('off' or empty = none)")
+		window    = flag.Int64("window", 0, "emit a windowed-telemetry sample every N cycles (0 = off; enables sync tracing)")
+		windowOut = flag.String("window-out", "-", "write telemetry NDJSON here ('-' = stdout)")
+		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
 
@@ -50,6 +55,12 @@ func main() {
 	if *scale == "profile" {
 		opts = workloads.ProfileOptions()
 	}
+	if *window > 0 {
+		// The ghost publishes its iteration counter only under sync
+		// tracing; the lead series needs it. (This changes the ghost
+		// program slightly, like gttrace -metrics does.)
+		opts.Sync.Trace = true
+	}
 	inst := build(opts)
 	v := inst.VariantByName(*variant)
 	if v == nil {
@@ -65,6 +76,28 @@ func main() {
 		fatal(err)
 	}
 	cfg.Fault = fc
+	if *window > 0 {
+		var w io.Writer = os.Stdout
+		if *windowOut != "-" {
+			f, err := os.Create(*windowOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		// Unbuffered line-at-a-time writes: every flushed window is on
+		// disk before the next one runs, so a crash loses at most the
+		// in-progress window (resilience-ledger style).
+		enc := json.NewEncoder(w)
+		cfg.Telemetry.WindowCycles = *window
+		cfg.Telemetry.GhostCounterAddr = inst.Counters.GhostAddr
+		cfg.Telemetry.Sink = func(ws obs.WindowSample) {
+			if err := enc.Encode(ws); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
 	if err != nil {
 		fatal(err)
@@ -90,6 +123,16 @@ func main() {
 	}
 	fmt.Printf("serializes  %d (stall %d cycles)   spawns %d   dram-lines %d\n",
 		res.Serializes, res.SerializeStall, res.Spawns, res.DRAMTransfers)
+	if *window > 0 {
+		boundaries := 0
+		for _, ws := range res.Windows {
+			if ws.PhaseBoundary {
+				boundaries++
+			}
+		}
+		fmt.Printf("telemetry   %d windows (W=%d cycles), %d phase boundaries\n",
+			len(res.Windows), *window, boundaries)
+	}
 	if cfg.Fault.Enabled() {
 		f := res.Fault
 		fmt.Printf("faults      %s\n", cfg.Fault)

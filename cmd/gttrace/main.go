@@ -8,6 +8,7 @@
 //	gttrace -workload camel -variant ghost
 //	gttrace -workload bfs.urand -variant baseline -every 2000 -csv
 //	gttrace -workload camel -variant ghost -chrome out.json   # open in ui.perfetto.dev
+//	gttrace -workload camel -variant ghost -chrome out.json -window 20000   # + counter tracks
 //	gttrace -workload camel -variant ghost -metrics met.json -folded stacks.txt
 //	gttrace -validate out.json
 package main
@@ -36,6 +37,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "write the metrics-registry JSON to this file")
 		folded   = flag.String("folded", "", "write folded stacks (main-thread stall cycles per pc) to this file")
 		bufSize  = flag.Int("buf", obs.DefaultCapacity, "trace ring-buffer capacity in events")
+		window   = flag.Int64("window", 0, "add Perfetto counter tracks from windowed telemetry every N cycles (0 = off; with -chrome)")
 		validate = flag.String("validate", "", "validate an existing Chrome trace JSON file and exit")
 	)
 	flag.Parse()
@@ -72,7 +74,7 @@ func main() {
 	if *scale == "eval" {
 		opts = workloads.DefaultOptions()
 	}
-	if *metrics != "" {
+	if *metrics != "" || *window > 0 {
 		// Ghost-lead sampling needs the ghost's published counter word.
 		opts.Sync.Trace = true
 	}
@@ -90,6 +92,10 @@ func main() {
 	var samples []cpu.PipelineSample
 	var core0 *cpu.Core
 	cfg.Sampler = func(now int64) { samples = append(samples, core0.Sample()) }
+	if *window > 0 {
+		cfg.Telemetry.WindowCycles = *window
+		cfg.Telemetry.GhostCounterAddr = inst.Counters.GhostAddr
+	}
 	s := sim.New(cfg, inst.Mem)
 	s.Load(0, v.Main, v.Helpers)
 	core0 = s.Core(0)
@@ -111,7 +117,7 @@ func main() {
 	}
 
 	if *chrome != "" {
-		writeChrome(*chrome, rec, core0, *workload, *variant)
+		writeChrome(*chrome, rec, res.Windows, core0, *workload, *variant)
 	}
 	if *metrics != "" {
 		reg.SetCounter("cycles", res.Cycles)
@@ -167,12 +173,13 @@ func main() {
 	}
 }
 
-// writeChrome exports the recorded events and self-checks the result:
-// schema validation plus the span-sum invariant (serialize-throttle span
+// writeChrome exports the recorded events (plus windowed-telemetry
+// counter tracks when -window is on) and self-checks the result: schema
+// validation plus the span-sum invariant (serialize-throttle span
 // durations sum to the SerializeStall counter when nothing was dropped).
-func writeChrome(path string, rec *obs.Recorder, core0 *cpu.Core, workload, variant string) {
+func writeChrome(path string, rec *obs.Recorder, windows []obs.WindowSample, core0 *cpu.Core, workload, variant string) {
 	events := rec.Events()
-	data, err := obs.ChromeTrace(events, workload+"/"+variant)
+	data, err := obs.ChromeTraceWindows(events, windows, workload+"/"+variant)
 	fatalIf(err)
 	fatalIf(obs.ValidateChrome(data))
 	fatalIf(os.WriteFile(path, data, 0o644))

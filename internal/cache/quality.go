@@ -62,3 +62,16 @@ func (q *PrefetchQuality) Add(o PrefetchQuality) {
 	q.Late += o.Late
 	q.Evicted += o.Evicted
 }
+
+// Sub returns the counter deltas q − o: the prefetch activity that
+// happened between two snapshots (windowed telemetry takes one snapshot
+// per window boundary).
+func (q PrefetchQuality) Sub(o PrefetchQuality) PrefetchQuality {
+	return PrefetchQuality{
+		Issued:    q.Issued - o.Issued,
+		Redundant: q.Redundant - o.Redundant,
+		Timely:    q.Timely - o.Timely,
+		Late:      q.Late - o.Late,
+		Evicted:   q.Evicted - o.Evicted,
+	}
+}

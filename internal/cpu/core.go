@@ -187,8 +187,10 @@ type Core struct {
 	// statistics — a traced run is bit-identical to an untraced one.
 	trace      *obs.Recorder
 	met        *obs.CoreMetrics
-	id         uint8 // core id stamped into trace events
-	ghostStart int64 // spawn-dispatch cycle of the live helper (tracing)
+	wrec       *obs.WindowRecorder // windowed telemetry accumulator
+	wrecAddr   int64               // ghost counter word for the lead tap
+	id         uint8               // core id stamped into trace events
+	ghostStart int64               // spawn-dispatch cycle of the live helper (tracing)
 
 	// Shadow oracle (nil = off; see shadow.go). Taps sit in dispatch,
 	// which only runs at stepped cycles, so the counters are identical
@@ -766,8 +768,14 @@ func (t *thread) readyFloor(d *dInstr) int64 {
 // MSHR-occupancy observation and, when tracing, a fill span on the mem
 // track covering the in-flight window.
 func (c *Core) observeFill(t *thread, addr, at int64, res cache.AccessResult) {
-	if c.met != nil && c.met.MSHROccupancy != nil {
-		c.met.MSHROccupancy.Observe(int64(c.mshrBusy(at)))
+	if c.met != nil || c.wrec != nil {
+		busy := c.mshrBusy(at)
+		if c.met != nil && c.met.MSHROccupancy != nil {
+			c.met.MSHROccupancy.Observe(int64(busy))
+		}
+		if c.wrec != nil {
+			c.wrec.ObserveMSHR(busy)
+		}
 	}
 	if c.trace != nil {
 		if dur := res.CompleteAt - at; dur > 0 {
@@ -1256,14 +1264,19 @@ func (c *Core) dispatchOne(t *thread) bool {
 			t.inSkip = false
 		}
 	}
-	if c.met != nil && c.met.GhostLead != nil && t.id == 1 && in.Op == isa.OpLoad &&
+	if (c.wrec != nil || (c.met != nil && c.met.GhostLead != nil)) &&
+		t.id == 1 && in.Op == isa.OpLoad &&
 		in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync {
 		// A sync check: the ghost just read the main thread's published
 		// counter. Its own count is the published ghost counter word
 		// (requires core.SyncParams.Trace).
 		c.turn()
-		lead := c.mem.LoadWord(c.met.GhostCounterAddr) - t.regs[in.Dst]
-		c.met.GhostLead.Observe(lead)
+		if c.met != nil && c.met.GhostLead != nil {
+			c.met.GhostLead.Observe(c.mem.LoadWord(c.met.GhostCounterAddr) - t.regs[in.Dst])
+		}
+		if c.wrec != nil {
+			c.wrec.ObserveLead(c.mem.LoadWord(c.wrecAddr) - t.regs[in.Dst])
+		}
 	}
 
 	// Claim the destination register for timing purposes.
@@ -1365,6 +1378,18 @@ func (c *Core) Trace() *obs.Recorder { return c.trace }
 
 // SetMetrics attaches (or with nil detaches) histogram hooks.
 func (c *Core) SetMetrics(m *obs.CoreMetrics) { c.met = m }
+
+// SetWindowRecorder attaches (or with nil detaches) the windowed
+// telemetry accumulator. ghostAddr is the memory word holding the
+// ghost's published iteration count (core.Counters.GhostAddr; the
+// ghost-lead tap needs core.SyncParams.Trace so the ghost publishes
+// there). The recorder is single-writer (this core) and drained only
+// between epochs by the run coordinator, so windowed runs stay eligible
+// for parallel stepping.
+func (c *Core) SetWindowRecorder(w *obs.WindowRecorder, ghostAddr int64) {
+	c.wrec = w
+	c.wrecAddr = ghostAddr
+}
 
 // SetFault attaches (or with nil detaches) a fault injector. Attach
 // before Load: Load schedules the injector's timing-wheel triggers.

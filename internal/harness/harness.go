@@ -113,7 +113,10 @@ var (
 // bit-identical to a fresh one. Reports are treated as immutable by all
 // consumers. sync.Once gives concurrent workers single-flight semantics.
 func profileWorkload(workload string, build workloads.Builder, cfg sim.Config) (*profile.Report, error) {
-	if cfg.Sampler != nil {
+	if cfg.Sampler != nil || cfg.Telemetry.Enabled() {
+		// Callback-carrying configs bypass the memo: a cache hit would
+		// silently drop the sampler/sink calls the caller is counting on
+		// (and funcs are unhashable as keys anyway).
 		return runProfile(workload, build, cfg)
 	}
 	key := profKey{

@@ -1,0 +1,57 @@
+package harness
+
+// host.go — host metadata stamped into perf-ledger entries. Trajectory
+// points are only comparable across runs on the same machine; recording
+// the toolchain and CPU alongside each point lets a reader (or a later
+// tool) tell a real simulator regression from a hardware change.
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+var hostMetaOnce = sync.OnceValues(func() (hostInfo, error) {
+	return hostInfo{
+		goVersion:  runtime.Version(),
+		goMaxProcs: runtime.GOMAXPROCS(0),
+		cpuModel:   cpuModel(),
+	}, nil
+})
+
+type hostInfo struct {
+	goVersion  string
+	goMaxProcs int
+	cpuModel   string
+}
+
+// hostMeta returns the (cached) identifying facts about the measuring
+// host: toolchain version, scheduler width, and CPU model string.
+func hostMeta() (goVersion string, goMaxProcs int, cpuModel string) {
+	h, _ := hostMetaOnce()
+	return h.goVersion, h.goMaxProcs, h.cpuModel
+}
+
+// cpuModel extracts the CPU model name from /proc/cpuinfo on Linux,
+// falling back to GOOS/GOARCH where the file is absent or unparseable —
+// the field should always carry something, just less specific.
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			key, val, ok := strings.Cut(line, ":")
+			if !ok {
+				continue
+			}
+			// x86 uses "model name"; ARM cpuinfo spells it "Model" or
+			// exposes only "CPU implementer" codes — take what exists.
+			switch strings.TrimSpace(key) {
+			case "model name", "Model", "cpu model":
+				if v := strings.TrimSpace(val); v != "" {
+					return v
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}

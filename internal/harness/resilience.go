@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"ghostthread/internal/fault"
+	"ghostthread/internal/obs"
 	"ghostthread/internal/sim"
 	"ghostthread/internal/workloads"
 )
@@ -86,6 +87,14 @@ type ResilienceOptions struct {
 	// task — the acceptance check that a crashing worker becomes an error
 	// row while every other row survives.
 	InjectPanic string
+	// Window enables windowed telemetry on every run of the sweep (the
+	// sample period in cycles; 0 = off). Telemetry is observation only —
+	// it never changes any row's cycle counts.
+	Window int64
+	// WindowSink receives every telemetry sample, tagged with the run
+	// identity, as it is flushed (serialized across workers; may be nil).
+	// Feed the NDJSON stream to gtmon for live sweep introspection.
+	WindowSink func(obs.MonitorRow)
 }
 
 // Resilience sweeps the named workloads' ghost variants across the fault
@@ -138,6 +147,15 @@ func Resilience(names []string, cfg sim.Config, opts ResilienceOptions, sink fun
 		sink(r)
 		sinkMu.Unlock()
 	}
+	var winMu sync.Mutex
+	winEmit := func(r obs.MonitorRow) {
+		if opts.WindowSink == nil {
+			return
+		}
+		winMu.Lock()
+		opts.WindowSink(r)
+		winMu.Unlock()
+	}
 
 	perWorkload := make([][]ResilienceRow, len(names))
 	idx := make(chan int)
@@ -147,7 +165,7 @@ func Resilience(names []string, cfg sim.Config, opts ResilienceOptions, sink fun
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				perWorkload[i] = resilienceTask(names[i], cfg, levels, buildOpts, opts.InjectPanic, emit)
+				perWorkload[i] = resilienceTask(names[i], cfg, levels, buildOpts, opts.InjectPanic, opts.Window, emit, winEmit)
 			}
 		}()
 	}
@@ -168,7 +186,7 @@ func Resilience(names []string, cfg sim.Config, opts ResilienceOptions, sink fun
 // as it completes. A panic anywhere inside (builder, simulator, check, or
 // the injected test panic) is recovered into a single error row so the
 // rest of the sweep is unaffected.
-func resilienceTask(name string, cfg sim.Config, levels []ResilienceLevel, buildOpts workloads.Options, injectPanic string, emit func(ResilienceRow)) (rows []ResilienceRow) {
+func resilienceTask(name string, cfg sim.Config, levels []ResilienceLevel, buildOpts workloads.Options, injectPanic string, window int64, emit func(ResilienceRow), winEmit func(obs.MonitorRow)) (rows []ResilienceRow) {
 	defer func() {
 		if r := recover(); r != nil {
 			perr := &PanicError{Workload: name, Value: r, Stack: debug.Stack()}
@@ -205,7 +223,16 @@ func resilienceTask(name string, cfg sim.Config, levels []ResilienceLevel, build
 		runOne := func(variant string) (sim.Result, error) {
 			inst := build(buildOpts)
 			v := inst.VariantByName(variant)
-			res, err := sim.RunProgram(runCfg, inst.Mem, v.Main, v.Helpers)
+			oneCfg := runCfg
+			if window > 0 {
+				level := lv.Name
+				oneCfg.Telemetry.WindowCycles = window
+				oneCfg.Telemetry.GhostCounterAddr = inst.Counters.GhostAddr
+				oneCfg.Telemetry.Sink = func(ws obs.WindowSample) {
+					winEmit(obs.MonitorRow{Workload: name, Variant: variant, Level: level, WindowSample: ws})
+				}
+			}
+			res, err := sim.RunProgram(oneCfg, inst.Mem, v.Main, v.Helpers)
 			if err != nil {
 				return res, err
 			}

@@ -15,13 +15,18 @@ import (
 	"fmt"
 )
 
-// TrajEntry is one point of the perf history: which commit was measured
-// and what end-to-end throughput it delivered on the bench-smoke slice.
+// TrajEntry is one point of the perf history: which commit was measured,
+// what end-to-end throughput it delivered on the bench-smoke slice, and
+// the host it was measured on (a 2× "regression" that is really a move
+// from a fast machine to a slow one should be readable as such).
 type TrajEntry struct {
 	GitSHA          string  `json:"git_sha"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 	WallSeconds     float64 `json:"wall_seconds"`
 	SimulatedCycles int64   `json:"simulated_cycles,omitempty"`
+	GoVersion       string  `json:"go_version,omitempty"`
+	GoMaxProcs      int     `json:"gomaxprocs,omitempty"`
+	CPUModel        string  `json:"cpu_model,omitempty"`
 }
 
 // matrixSummary is the slice of the matrix JSON the trajectory needs.
@@ -70,12 +75,14 @@ func AppendTrajectory(fresh, prev []byte, sha string) ([]byte, []TrajEntry, erro
 			}}
 		}
 	}
-	history = append(history, TrajEntry{
+	entry := TrajEntry{
 		GitSHA:          sha,
 		SimCyclesPerSec: sum.CyclesPerSec,
 		WallSeconds:     sum.WallSeconds,
 		SimulatedCycles: sum.SimulatedCycles,
-	})
+	}
+	entry.GoVersion, entry.GoMaxProcs, entry.CPUModel = hostMeta()
+	history = append(history, entry)
 
 	// Re-emit the fresh matrix with the accumulated trajectory attached.
 	var body map[string]json.RawMessage

@@ -36,6 +36,12 @@ func TestTrajectoryFirstRun(t *testing.T) {
 	if len(reread.Trajectory) != 1 {
 		t.Fatalf("emitted file carries %d entries, want 1", len(reread.Trajectory))
 	}
+	// Fresh entries carry the measuring host's identity so cross-machine
+	// comparisons are readable as such.
+	e := reread.Trajectory[0]
+	if e.GoVersion == "" || e.GoMaxProcs <= 0 || e.CPUModel == "" {
+		t.Errorf("fresh entry missing host metadata: %+v", e)
+	}
 }
 
 // TestTrajectoryPreLedgerBaseline: a previous file without a trajectory

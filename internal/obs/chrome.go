@@ -11,9 +11,10 @@ import (
 // not visually swallow the pipeline events of the context that issued
 // them.
 const (
-	trackMain  = 0
-	trackGhost = 1
-	trackMem   = 2
+	trackMain    = 0
+	trackGhost   = 1
+	trackMem     = 2
+	trackCounter = 3
 )
 
 // levelName names a cache level for event args.
@@ -61,11 +62,27 @@ type chromeTrace struct {
 // per track — ValidateChrome relies on that. label names the trace in
 // the viewer (typically "workload/variant").
 func ChromeTrace(events []Event, label string) ([]byte, error) {
+	return marshalChrome(chromeEvents(events, nil, label))
+}
+
+// ChromeTraceWindows is ChromeTrace plus Perfetto counter tracks built
+// from windowed telemetry samples: per core, one "C" counter event per
+// window for ghost lead, IPC, serialize-stall fraction, MSHR occupancy,
+// prefetch accuracy, and phase id, timestamped at the window start so the
+// counter steps render aligned with the span tracks of the same cycles.
+func ChromeTraceWindows(events []Event, windows []WindowSample, label string) ([]byte, error) {
+	return marshalChrome(chromeEvents(events, windows, label))
+}
+
+func chromeEvents(events []Event, windows []WindowSample, label string) []chromeEvent {
 	var out []chromeEvent
 
 	cores := map[uint8]bool{}
 	for _, e := range events {
 		cores[e.Core] = true
+	}
+	for _, w := range windows {
+		cores[uint8(w.Core)] = true
 	}
 	if len(cores) == 0 {
 		cores[0] = true
@@ -118,6 +135,31 @@ func ChromeTrace(events []Event, label string) ([]byte, error) {
 		out = append(out, ce)
 	}
 
+	for _, w := range windows {
+		counters := []struct {
+			name string
+			args map[string]any
+		}{
+			{"ghost-lead", map[string]any{"mean": w.GhostLeadMean, "p95": w.GhostLeadP95}},
+			{"ipc", map[string]any{"ipc": w.IPC}},
+			{"serialize-stall", map[string]any{"frac": w.SerializeStallFrac}},
+			{"mshr", map[string]any{"avg": w.MSHRAvg, "peak": w.MSHRPeak}},
+			{"pf-accuracy", map[string]any{"accuracy": w.PFAccuracy, "coverage": w.PFCoverage}},
+			{"phase", map[string]any{"phase": w.Phase}},
+		}
+		for _, c := range counters {
+			out = append(out, chromeEvent{
+				Name:  c.name,
+				Cat:   "telemetry",
+				Phase: "C",
+				TS:    w.Start,
+				PID:   w.Core,
+				TID:   trackCounter,
+				Args:  c.args,
+			})
+		}
+	}
+
 	// Metadata first, then per-track monotonic ts (stable to preserve
 	// emission order of same-cycle events).
 	sort.SliceStable(out, func(i, j int) bool {
@@ -133,7 +175,10 @@ func ChromeTrace(events []Event, label string) ([]byte, error) {
 		}
 		return a.TS < b.TS
 	})
+	return out
+}
 
+func marshalChrome(out []chromeEvent) ([]byte, error) {
 	return json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
 }
 
@@ -150,8 +195,9 @@ func meta(name string, pid, tid int, value string) chromeEvent {
 // ValidateChrome checks data against the trace-event schema subset this
 // package emits: a top-level object with a traceEvents array, every
 // event carrying name/ph/pid/tid, a known phase, a non-negative dur on
-// complete events, and — per (pid, tid) track — non-decreasing ts. It is
-// the check behind `make trace-smoke` and `gttrace -validate`.
+// complete events, numeric series values in the args of counter ("C")
+// events, and — per (pid, tid) track — non-decreasing ts. It is the
+// check behind `make trace-smoke` and `gttrace -validate`.
 func ValidateChrome(data []byte) error {
 	var doc struct {
 		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
@@ -196,6 +242,22 @@ func ValidateChrome(data []byte) error {
 			}
 			if dur < 0 {
 				return fmt.Errorf("obs: event %d (%s): negative dur %d", i, name, dur)
+			}
+		}
+		if ph == "C" {
+			// A counter event's args are its series values: Perfetto drops
+			// the event silently when args are absent or non-numeric, so
+			// schema-check what the viewer would discard.
+			raw, ok := ev["args"]
+			if !ok {
+				return fmt.Errorf("obs: event %d (%s): counter event missing args", i, name)
+			}
+			var series map[string]json.Number
+			if err := json.Unmarshal(raw, &series); err != nil {
+				return fmt.Errorf("obs: event %d (%s): counter args must be an object of numeric series: %w", i, name, err)
+			}
+			if len(series) == 0 {
+				return fmt.Errorf("obs: event %d (%s): counter event has no series values", i, name)
 			}
 		}
 		track := [2]int{int(pid), int(tid)}

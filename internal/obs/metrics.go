@@ -21,6 +21,11 @@ type Histogram struct {
 	count    int64
 	sum      int64
 	min, max int64
+
+	// sketch tracks the full observation stream at log-linear resolution
+	// so tail quantiles (p50/p95/p99) are available without storing raw
+	// observations, and survive shard merges exactly (see Sketch).
+	sketch Sketch
 }
 
 // NewHistogram builds a histogram with the given ascending bucket bounds.
@@ -52,6 +57,42 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
+	h.sketch.Observe(v)
+}
+
+// Quantile returns the q-th quantile estimate of the observation stream
+// (from the embedded sketch; 0 when empty).
+func (h *Histogram) Quantile(q float64) int64 { return h.sketch.Quantile(q) }
+
+// Merge folds o's observations into h. The histograms must share the
+// same bucket bounds (per-core shards of one metric always do); Merge
+// panics otherwise, since silently mixing layouts would corrupt the
+// counts. Bucket, summary, and sketch merging are all count additions,
+// so the result is identical for any shard-merge order.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic(fmt.Sprintf("obs: merging histograms %s/%s with different bucket layouts", h.name, o.name))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			panic(fmt.Sprintf("obs: merging histograms %s/%s with different bucket layouts", h.name, o.name))
+		}
+	}
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.sketch.Merge(&o.sketch)
 }
 
 // Name returns the histogram's registry name.
@@ -122,9 +163,26 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// Merge folds o into r: counters add, histograms with the same name
+// merge bucket-wise (see Histogram.Merge), histograms only present in o
+// are adopted as-is. Used to fold per-core sharded registries into one;
+// the result is identical for any merge order.
+func (r *Registry) Merge(o *Registry) {
+	for name, v := range o.counters {
+		r.counters[name] += v
+	}
+	for name, oh := range o.histograms {
+		if h, ok := r.histograms[name]; ok {
+			h.Merge(oh)
+		} else {
+			r.histograms[name] = oh
+		}
+	}
+}
+
 // JSON renders the registry: counters as a name→value object, histograms
-// with buckets, count, sum, min, max, mean. Keys are sorted so output is
-// deterministic and diffable.
+// with buckets, count, sum, min, max, mean, and sketch-backed tail
+// quantiles. Keys are sorted so output is deterministic and diffable.
 func (r *Registry) JSON() ([]byte, error) {
 	type histOut struct {
 		Name    string   `json:"name"`
@@ -134,6 +192,9 @@ func (r *Registry) JSON() ([]byte, error) {
 		Min     int64    `json:"min"`
 		Max     int64    `json:"max"`
 		Mean    float64  `json:"mean"`
+		P50     int64    `json:"p50"`
+		P95     int64    `json:"p95"`
+		P99     int64    `json:"p99"`
 	}
 	out := struct {
 		Counters   map[string]int64 `json:"counters"`
@@ -153,6 +214,7 @@ func (r *Registry) JSON() ([]byte, error) {
 		out.Histograms = append(out.Histograms, histOut{
 			Name: n, Buckets: h.Buckets(), Count: h.count, Sum: h.sum,
 			Min: mn, Max: mx, Mean: h.Mean(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		})
 	}
 	b, err := json.MarshalIndent(out, "", "  ")

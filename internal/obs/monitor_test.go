@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func monLine(t *testing.T, row MonitorRow) []byte {
+	t.Helper()
+	b, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMonitorIngestAndPrometheus(t *testing.T) {
+	m := NewMonitor()
+	// Two samples of the same series: /metrics must expose only the
+	// latest; plus one untagged (bare gtrun) series.
+	if err := m.Ingest(monLine(t, MonitorRow{
+		Workload: "camel", Variant: "ghost", Level: "light",
+		WindowSample: WindowSample{Window: 0, Core: 0, IPC: 0.5, Phase: 0},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest(monLine(t, MonitorRow{
+		Workload: "camel", Variant: "ghost", Level: "light",
+		WindowSample: WindowSample{Window: 1, Core: 0, IPC: 0.75, Phase: 1, PhaseBoundary: true},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest(monLine(t, MonitorRow{
+		WindowSample: WindowSample{Window: 3, Core: 2, IPC: 1.25},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest([]byte("   \n")); err != nil {
+		t.Errorf("blank line must be ignored: %v", err)
+	}
+	if err := m.Ingest([]byte(`{"window": tru`)); err == nil {
+		t.Error("truncated line must report an error")
+	}
+	if got := m.Ingested(); got != 3 {
+		t.Fatalf("ingested = %d, want 3", got)
+	}
+
+	text := m.PrometheusText()
+	for _, want := range []string{
+		`ghostsim_ipc{core="0",level="light",variant="ghost",workload="camel"} 0.75`,
+		`ghostsim_window{core="0",level="light",variant="ghost",workload="camel"} 1`,
+		`ghostsim_phase{core="0",level="light",variant="ghost",workload="camel"} 1`,
+		`ghostsim_ipc{core="2"} 1.25`, // untagged series keeps only the core label
+		"# TYPE ghostsim_ipc gauge",
+		"ghostsim_samples_ingested_total 3",
+		"ghostsim_bad_lines_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("PrometheusText missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "0.5") {
+		t.Error("stale sample value leaked into /metrics")
+	}
+}
+
+func TestMonitorPhasesAndHandler(t *testing.T) {
+	m := NewMonitor()
+	for i, boundary := range []bool{false, true, false, true} {
+		if err := m.Ingest(monLine(t, MonitorRow{
+			Workload:     "bfs.kron",
+			WindowSample: WindowSample{Window: int64(i), Phase: i / 2, PhaseBoundary: boundary},
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := m.PhasesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []MonitorRow
+	if err := json.Unmarshal(data, &phases); err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 || phases[0].Window != 1 || phases[1].Window != 3 {
+		t.Fatalf("phase history = %+v, want windows 1 and 3", phases)
+	}
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	for path, wantBody := range map[string]string{
+		"/metrics": "ghostsim_samples_ingested_total 4",
+		"/phases":  `"phase_boundary": true`,
+		"/healthz": "ok",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("%s returned %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), wantBody) {
+			t.Errorf("%s body missing %q:\n%s", path, wantBody, body)
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+}
+
+func TestMonitorPhaseHistoryBounded(t *testing.T) {
+	m := NewMonitor()
+	for i := 0; i < maxPhaseEvents+100; i++ {
+		if err := m.Ingest(monLine(t, MonitorRow{
+			WindowSample: WindowSample{Window: int64(i), PhaseBoundary: true},
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := m.PhasesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []MonitorRow
+	if err := json.Unmarshal(data, &phases); err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != maxPhaseEvents {
+		t.Fatalf("phase history holds %d, want cap %d", len(phases), maxPhaseEvents)
+	}
+	if phases[len(phases)-1].Window != int64(maxPhaseEvents+99) {
+		t.Errorf("newest retained window = %d, want %d",
+			phases[len(phases)-1].Window, maxPhaseEvents+99)
+	}
+}

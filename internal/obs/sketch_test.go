@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the reference quantile: the k-th smallest
+// observation at the same 1-based rank the sketch uses.
+func exactQuantile(vals []int64, q float64) int64 {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int64(q*float64(len(s)-1)) + 1
+	return s[rank-1]
+}
+
+// sketchFrom observes all values into a fresh sketch.
+func sketchFrom(vals []int64) *Sketch {
+	var s Sketch
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	return &s
+}
+
+// TestSketchExactSmallValues: magnitudes below 2^(subBits+1) map to
+// their own buckets, so quantiles over small values are exact.
+func TestSketchExactSmallValues(t *testing.T) {
+	var vals []int64
+	for v := int64(-40); v <= 40; v++ {
+		vals = append(vals, v)
+	}
+	s := sketchFrom(vals)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if got, want := s.Quantile(q), exactQuantile(vals, q); got != want {
+			t.Errorf("q=%v: got %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestSketchRelativeError: large magnitudes are bucketed log-linearly
+// with 2^subBits sub-buckets per octave, bounding relative error.
+func TestSketchRelativeError(t *testing.T) {
+	// A deterministic LCG spread over several octaves, both signs.
+	var vals []int64
+	x := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := int64(x % 1_000_000)
+		if x&(1<<63) != 0 {
+			v = -v
+		}
+		vals = append(vals, v)
+	}
+	s := sketchFrom(vals)
+	maxRel := 1.0 / float64(int64(1)<<(sketchSubBits+1)) // bucket half-width
+	for _, q := range []float64{0.01, 0.05, 0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		want := exactQuantile(vals, q)
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("q=%v: got %d, want 0", q, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got)-float64(want)) / math.Abs(float64(want))
+		if rel > maxRel+1e-12 {
+			t.Errorf("q=%v: got %d, want %d (rel err %.4f > %.4f)", q, got, want, rel, maxRel)
+		}
+	}
+}
+
+// TestSketchIndexMonotoneContiguous: the bucket mapping must be monotone
+// (never decreasing) and contiguous (no skipped indices) so quantile
+// walks visit values in order.
+func TestSketchIndexMonotoneContiguous(t *testing.T) {
+	prev := sketchIndex(1)
+	if prev != 1 {
+		t.Fatalf("sketchIndex(1) = %d, want 1", prev)
+	}
+	for v := uint64(2); v < 1<<16; v++ {
+		idx := sketchIndex(v)
+		if idx < prev || idx > prev+1 {
+			t.Fatalf("sketchIndex(%d) = %d after %d: not monotone-contiguous", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestSketchValueRoundTrip: a bucket's representative value must map
+// back to the same bucket.
+func TestSketchValueRoundTrip(t *testing.T) {
+	seen := map[int]bool{}
+	for v := uint64(1); v < 1<<20; v = v*17/16 + 1 {
+		idx := sketchIndex(v)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		rep := sketchValue(idx)
+		if rep <= 0 {
+			t.Fatalf("sketchValue(%d) = %d, not positive", idx, rep)
+		}
+		if back := sketchIndex(uint64(rep)); back != idx {
+			t.Errorf("bucket %d: representative %d maps back to bucket %d", idx, rep, back)
+		}
+	}
+}
+
+// TestSketchMergeEqualsCombined: merging shards must be exactly
+// equivalent to observing the combined stream — the property that makes
+// per-core sharding deterministic — for any shard split and merge order.
+func TestSketchMergeEqualsCombined(t *testing.T) {
+	var vals []int64
+	x := uint64(99)
+	for i := 0; i < 3000; i++ {
+		x = x*2862933555777941757 + 3037000493
+		vals = append(vals, int64(x%200_000)-100_000)
+	}
+	combined := sketchFrom(vals)
+
+	for _, shards := range []int{2, 3, 7} {
+		// Round-robin split, then merge in forward and reverse order.
+		parts := make([][]int64, shards)
+		for i, v := range vals {
+			parts[i%shards] = append(parts[i%shards], v)
+		}
+		var fwd, rev Sketch
+		for i := 0; i < shards; i++ {
+			fwd.Merge(sketchFrom(parts[i]))
+			rev.Merge(sketchFrom(parts[shards-1-i]))
+		}
+		for _, m := range []*Sketch{&fwd, &rev} {
+			if m.Count() != combined.Count() {
+				t.Fatalf("%d shards: merged count %d != %d", shards, m.Count(), combined.Count())
+			}
+			for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+				if got, want := m.Quantile(q), combined.Quantile(q); got != want {
+					t.Errorf("%d shards q=%v: merged %d != combined %d", shards, q, got, want)
+				}
+			}
+		}
+		if !reflect.DeepEqual(trimSketch(&fwd), trimSketch(&rev)) {
+			t.Errorf("%d shards: forward and reverse merge orders produced different sketches", shards)
+		}
+	}
+}
+
+// trimSketch normalises trailing zero buckets (merge order can leave
+// different slice capacities) for structural comparison.
+func trimSketch(s *Sketch) Sketch {
+	out := Sketch{zero: s.zero, n: s.n}
+	out.pos = append([]int64(nil), s.pos...)
+	out.neg = append([]int64(nil), s.neg...)
+	for len(out.pos) > 0 && out.pos[len(out.pos)-1] == 0 {
+		out.pos = out.pos[:len(out.pos)-1]
+	}
+	for len(out.neg) > 0 && out.neg[len(out.neg)-1] == 0 {
+		out.neg = out.neg[:len(out.neg)-1]
+	}
+	return out
+}
+
+// TestSketchReset keeps allocations but discards observations.
+func TestSketchReset(t *testing.T) {
+	s := sketchFrom([]int64{1, 100, -50, 0})
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("reset sketch not empty: count=%d", s.Count())
+	}
+	s.Observe(7)
+	if got := s.Quantile(0.5); got != 7 {
+		t.Fatalf("post-reset quantile = %d, want 7", got)
+	}
+}
+
+// TestHistogramQuantilesAndMerge: the histogram's embedded sketch
+// surfaces quantiles and survives merges exactly (satellite: p50/p95/p99
+// without raw observations).
+func TestHistogramQuantilesAndMerge(t *testing.T) {
+	bounds := []int64{10, 100, 1000}
+	a := NewHistogram("lat", bounds)
+	b := NewHistogram("lat", bounds)
+	var all []int64
+	for i := int64(1); i <= 200; i++ {
+		v := i * 3 % 47
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != int64(len(all)) {
+		t.Fatalf("merged count %d, want %d", a.Count(), len(all))
+	}
+	ref := sketchFrom(all)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := a.Quantile(q), ref.Quantile(q); got != want {
+			t.Errorf("q=%v: merged histogram %d != combined %d", q, got, want)
+		}
+	}
+	var sum int64
+	for _, v := range all {
+		sum += v
+	}
+	if a.Sum() != sum {
+		t.Errorf("merged sum %d, want %d", a.Sum(), sum)
+	}
+}
+
+// TestHistogramMergePanicsOnLayoutMismatch: silently mixing bucket
+// layouts would corrupt counts, so Merge must refuse.
+func TestHistogramMergePanicsOnLayoutMismatch(t *testing.T) {
+	a := NewHistogram("a", []int64{1, 2})
+	b := NewHistogram("b", []int64{1, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge with mismatched bounds did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestRegistryMergeOrderInvariant: folding per-core registries must be
+// order-independent, including histograms only present in one shard.
+func TestRegistryMergeOrderInvariant(t *testing.T) {
+	mk := func(seed int64) *Registry {
+		r := NewRegistry()
+		r.AddCounter("steps", seed*10)
+		h := r.Histogram("lead", []int64{0, 10, 100})
+		for i := int64(0); i < 50; i++ {
+			h.Observe(seed * i % 137)
+		}
+		if seed == 2 {
+			r.Histogram("only2", []int64{5}).Observe(3)
+		}
+		return r
+	}
+	ab := NewRegistry()
+	ab.Merge(mk(1))
+	ab.Merge(mk(2))
+	ab.Merge(mk(3))
+	ba := NewRegistry()
+	ba.Merge(mk(3))
+	ba.Merge(mk(1))
+	ba.Merge(mk(2))
+	j1, err := ab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := ba.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("merge order changed registry JSON\n ab: %s\n ba: %s", j1, j2)
+	}
+}

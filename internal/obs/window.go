@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"sort"
+
+	"ghostthread/internal/cache"
+)
+
+// WindowSample is one per-core sample of the streaming telemetry
+// time-series: the activity deltas of one W-cycle window, emitted at the
+// window's closing flush. All counter fields are deltas over the window
+// (not cumulative), so a sample stream can be consumed incrementally —
+// the adaptive-governor contract (ROADMAP item 3) and the NDJSON/gtmon
+// surfaces both read samples one at a time.
+//
+// Samples are produced only at deterministic points — window boundaries
+// the skipper never jumps over and, under parallel stepping, only by the
+// coordinator between epochs — so the stream is bit-identical across
+// per-cycle, event-skip, and parallel stepping (DESIGN.md §14).
+type WindowSample struct {
+	// Window is the zero-based window index; Start/End the cycle range
+	// [Start, End) the sample covers. The final window of a run may be
+	// shorter than W.
+	Window int64 `json:"window"`
+	Core   int   `json:"core"`
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+
+	// Committed main-context instructions this window, and the resulting
+	// IPC over the window length.
+	Committed int64   `json:"committed"`
+	IPC       float64 `json:"ipc"`
+
+	// SerializeStall is the main context's serialize-throttle stall cycles
+	// accrued this window; the fraction normalises by window length.
+	SerializeStall     int64   `json:"serialize_stall"`
+	SerializeStallFrac float64 `json:"serialize_stall_frac"`
+
+	// Ghost-lead summary over the window's synchronization checks (ghost
+	// iterations ahead of main; negative = behind). Count is 0 when the
+	// ghost ran no sync check this window, in which case the other lead
+	// fields are 0.
+	GhostLeadCount int64   `json:"ghost_lead_count"`
+	GhostLeadMean  float64 `json:"ghost_lead_mean"`
+	GhostLeadMin   int64   `json:"ghost_lead_min"`
+	GhostLeadMax   int64   `json:"ghost_lead_max"`
+	GhostLeadP50   int64   `json:"ghost_lead_p50"`
+	GhostLeadP95   int64   `json:"ghost_lead_p95"`
+	GhostLeadP99   int64   `json:"ghost_lead_p99"`
+
+	// Prefetch is the window's software-prefetch outcome deltas, with the
+	// derived ratios: accuracy (useful / issued+redundant), coverage
+	// (useful / (useful + demand loads that still went past L1)), and
+	// timeliness (timely / useful).
+	Prefetch     cache.PrefetchQuality `json:"prefetch"`
+	PFAccuracy   float64               `json:"pf_accuracy"`
+	PFCoverage   float64               `json:"pf_coverage"`
+	PFTimeliness float64               `json:"pf_timeliness"`
+
+	// DemandBeyondL1 counts demand loads satisfied past L1 this window
+	// (the misses prefetching is trying to cover).
+	DemandBeyondL1 int64 `json:"demand_beyond_l1"`
+
+	// MSHR occupancy seen at each L1 miss allocation this window (average
+	// and peak; 0 when no miss allocated), and the instantaneous main-
+	// context load-queue depth at the flush cycle.
+	MSHRAvg  float64 `json:"mshr_avg"`
+	MSHRPeak int64   `json:"mshr_peak"`
+	LQ       int     `json:"lq"`
+
+	// Phase is the detector's current phase id for this core; Boundary is
+	// true on the first window of a new phase, and PhaseDelta the
+	// total-variation distance that triggered (or didn't trigger) it.
+	Phase         int     `json:"phase"`
+	PhaseBoundary bool    `json:"phase_boundary"`
+	PhaseDelta    float64 `json:"phase_delta"`
+}
+
+// WindowRecorder accumulates the per-event window statistics one core
+// feeds between flushes: ghost-lead observations at sync checks and MSHR
+// occupancy at miss allocations. It is single-writer (its core) like a
+// trace Recorder, and drained only at window flush by the coordinator,
+// so it needs no locking under parallel stepping. Like all observers it
+// is observation-only: nothing the core computes depends on it.
+type WindowRecorder struct {
+	lead    Sketch
+	leadSum int64
+	leadMin int64
+	leadMax int64
+
+	mshrSum  int64
+	mshrN    int64
+	mshrPeak int64
+}
+
+// NewWindowRecorder returns an empty window recorder.
+func NewWindowRecorder() *WindowRecorder { return &WindowRecorder{} }
+
+// ObserveLead records one ghost-lead observation (sync check).
+func (w *WindowRecorder) ObserveLead(v int64) {
+	if w.lead.Count() == 0 || v < w.leadMin {
+		w.leadMin = v
+	}
+	if w.lead.Count() == 0 || v > w.leadMax {
+		w.leadMax = v
+	}
+	w.leadSum += v
+	w.lead.Observe(v)
+}
+
+// ObserveMSHR records the in-use MSHR count at one L1 miss allocation.
+func (w *WindowRecorder) ObserveMSHR(busy int) {
+	w.mshrSum += int64(busy)
+	w.mshrN++
+	if int64(busy) > w.mshrPeak {
+		w.mshrPeak = int64(busy)
+	}
+}
+
+// Drain writes the accumulated event statistics into s and resets the
+// recorder for the next window (keeping the sketch's allocations).
+func (w *WindowRecorder) Drain(s *WindowSample) {
+	if n := w.lead.Count(); n > 0 {
+		s.GhostLeadCount = n
+		s.GhostLeadMean = float64(w.leadSum) / float64(n)
+		s.GhostLeadMin = w.leadMin
+		s.GhostLeadMax = w.leadMax
+		s.GhostLeadP50 = w.lead.Quantile(0.50)
+		s.GhostLeadP95 = w.lead.Quantile(0.95)
+		s.GhostLeadP99 = w.lead.Quantile(0.99)
+	}
+	if w.mshrN > 0 {
+		s.MSHRAvg = float64(w.mshrSum) / float64(w.mshrN)
+		s.MSHRPeak = w.mshrPeak
+	}
+	w.lead.Reset()
+	w.leadSum, w.leadMin, w.leadMax = 0, 0, 0
+	w.mshrSum, w.mshrN, w.mshrPeak = 0, 0, 0
+}
+
+// DefaultPhaseThreshold is the total-variation distance between
+// consecutive windows' stall distributions above which the detector
+// declares a phase boundary. 0.35 means at least 35% of the stall mass
+// moved to different static instructions — comfortably above the
+// window-to-window jitter of a steady loop, comfortably below the
+// near-total shift of a kernel transition (e.g. bfs.kron moving between
+// frontier shapes).
+const DefaultPhaseThreshold = 0.35
+
+// PhaseDetector is the online phase-change detector: it watches the
+// per-window delta of the main context's per-PC stall attribution, and
+// stamps a boundary whenever the normalised stall distribution moves —
+// in total-variation distance — more than the threshold from the
+// previous window's. Stall attribution is the right signal for a
+// prefetching governor: a phase is precisely a period during which the
+// same static loads dominate the stall profile, which is what a p-slice
+// is tuned against (the phase-sensitivity Semantic Prefetching exploits).
+//
+// Windows with no stall at all are skipped (the reference distribution
+// is kept), so an idle gap does not manufacture two boundaries.
+type PhaseDetector struct {
+	threshold float64
+	prev      []float64
+	havePrev  bool
+	phase     int
+}
+
+// NewPhaseDetector returns a detector with the given TV-distance
+// threshold (<= 0 selects DefaultPhaseThreshold).
+func NewPhaseDetector(threshold float64) *PhaseDetector {
+	if threshold <= 0 {
+		threshold = DefaultPhaseThreshold
+	}
+	return &PhaseDetector{threshold: threshold}
+}
+
+// Step consumes one window's per-PC stall-cycle deltas and returns the
+// phase id the window belongs to, whether it opens a new phase, and the
+// TV distance from the previous window's distribution (0 when either
+// window was empty). The delta slice is not retained.
+func (d *PhaseDetector) Step(stallDelta []int64) (phase int, boundary bool, dist float64) {
+	var total int64
+	for _, v := range stallDelta {
+		total += v
+	}
+	if total == 0 {
+		return d.phase, false, 0
+	}
+	cur := make([]float64, len(stallDelta))
+	for i, v := range stallDelta {
+		cur[i] = float64(v) / float64(total)
+	}
+	if d.havePrev {
+		n := len(cur)
+		if len(d.prev) > n {
+			n = len(d.prev)
+		}
+		var l1 float64
+		for i := 0; i < n; i++ {
+			var a, b float64
+			if i < len(cur) {
+				a = cur[i]
+			}
+			if i < len(d.prev) {
+				b = d.prev[i]
+			}
+			if a > b {
+				l1 += a - b
+			} else {
+				l1 += b - a
+			}
+		}
+		dist = l1 / 2
+		if dist > d.threshold {
+			d.phase++
+			boundary = true
+		}
+	}
+	d.prev = cur
+	d.havePrev = true
+	return d.phase, boundary, dist
+}
+
+// ShardedRecorder is a set of per-core trace recorders with a
+// deterministic merge: each core emits into its own shard (single
+// writer, no synchronisation), and Events() interleaves the shards into
+// one global, deterministic event order. This is what lets traced runs
+// use the parallel stepping path — the legacy single shared Recorder
+// defines event order as serial core order, which only a serial loop can
+// produce.
+//
+// Determinism: each shard's contents are deterministic (one core,
+// deterministic simulation), and the merged order — by start cycle, ties
+// broken by shard (core) index — depends only on those contents, never
+// on scheduling. So a sharded-traced parallel run yields the same merged
+// event sequence as a serial run.
+type ShardedRecorder struct {
+	shards []*Recorder
+}
+
+// NewShardedRecorder builds one recorder per core, each holding up to
+// perShard events (<= 0 selects DefaultCapacity).
+func NewShardedRecorder(cores, perShard int) *ShardedRecorder {
+	s := &ShardedRecorder{shards: make([]*Recorder, cores)}
+	for i := range s.shards {
+		s.shards[i] = NewRecorder(perShard)
+	}
+	return s
+}
+
+// Cores returns the number of shards.
+func (s *ShardedRecorder) Cores() int { return len(s.shards) }
+
+// Shard returns core i's recorder (attach it with cpu.Core.SetTrace via
+// sim.System.SetShardedTrace).
+func (s *ShardedRecorder) Shard(i int) *Recorder { return s.shards[i] }
+
+// Emitted returns the total events emitted across all shards.
+func (s *ShardedRecorder) Emitted() uint64 {
+	var n uint64
+	for _, r := range s.shards {
+		n += r.Emitted()
+	}
+	return n
+}
+
+// Dropped returns the total events lost to ring wrap across all shards.
+func (s *ShardedRecorder) Dropped() uint64 {
+	var n uint64
+	for _, r := range s.shards {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// Events returns all retained events merged into the canonical order:
+// ascending start cycle, ties in core (shard) order, preserving each
+// core's emission order within a cycle. The result is independent of how
+// core stepping was scheduled.
+func (s *ShardedRecorder) Events() []Event {
+	var out []Event
+	for _, r := range s.shards {
+		out = append(out, r.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}
+
+// Reset discards all shards' events, keeping their allocations.
+func (s *ShardedRecorder) Reset() {
+	for _, r := range s.shards {
+		r.Reset()
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWindowRecorderDrain: Drain fills the sample's lead and MSHR
+// summaries from the accumulated observations and resets for the next
+// window.
+func TestWindowRecorderDrain(t *testing.T) {
+	w := NewWindowRecorder()
+	for _, v := range []int64{10, -5, 30, 30, 0} {
+		w.ObserveLead(v)
+	}
+	w.ObserveMSHR(3)
+	w.ObserveMSHR(7)
+	var s WindowSample
+	w.Drain(&s)
+	if s.GhostLeadCount != 5 || s.GhostLeadMin != -5 || s.GhostLeadMax != 30 {
+		t.Fatalf("lead summary wrong: %+v", s)
+	}
+	if s.GhostLeadMean != 13 {
+		t.Errorf("lead mean = %v, want 13", s.GhostLeadMean)
+	}
+	if s.GhostLeadP50 != 10 {
+		t.Errorf("lead p50 = %d, want 10", s.GhostLeadP50)
+	}
+	if s.MSHRAvg != 5 || s.MSHRPeak != 7 {
+		t.Errorf("mshr summary wrong: avg=%v peak=%d", s.MSHRAvg, s.MSHRPeak)
+	}
+	var next WindowSample
+	w.Drain(&next)
+	if next.GhostLeadCount != 0 || next.MSHRPeak != 0 {
+		t.Fatalf("drain did not reset: %+v", next)
+	}
+}
+
+// TestPhaseDetector: a stable stall distribution holds the phase; moving
+// the stall mass to different PCs crosses the TV threshold and stamps a
+// boundary; empty windows are skipped without manufacturing boundaries.
+func TestPhaseDetector(t *testing.T) {
+	d := NewPhaseDetector(0.35)
+	phaseA := []int64{100, 50, 0, 0}
+	phaseB := []int64{0, 0, 80, 120}
+	if _, b, _ := d.Step(phaseA); b {
+		t.Fatal("first window stamped a boundary with no reference")
+	}
+	if _, b, dist := d.Step(phaseA); b || dist != 0 {
+		t.Fatalf("identical window: boundary=%v dist=%v", b, dist)
+	}
+	if _, b, _ := d.Step([]int64{0, 0, 0, 0}); b {
+		t.Fatal("empty window stamped a boundary")
+	}
+	p, b, dist := d.Step(phaseB)
+	if !b || p != 1 {
+		t.Fatalf("full shift: boundary=%v phase=%d dist=%v", b, p, dist)
+	}
+	if dist != 1 {
+		t.Errorf("disjoint distributions: TV dist = %v, want 1", dist)
+	}
+	// Small jitter within a phase must not trigger.
+	if _, b, _ := d.Step([]int64{0, 0, 85, 115}); b {
+		t.Fatal("within-phase jitter stamped a boundary")
+	}
+}
+
+// TestShardedRecorderMergeDeterministic is the shard-merge property
+// test: for any interleaving of per-core emissions — any schedule a
+// parallel run could produce — the merged event stream is identical,
+// because each shard's content is per-core deterministic and the merge
+// orders only by (start cycle, core, per-core emission order).
+func TestShardedRecorderMergeDeterministic(t *testing.T) {
+	const cores = 4
+	// Per-core deterministic event sequences, including same-cycle events
+	// on one core (order must be preserved) and across cores (core order
+	// must win), plus a span that closes late but starts early.
+	perCore := make([][]Event, cores)
+	for c := 0; c < cores; c++ {
+		var evs []Event
+		x := uint64(c + 1)
+		cycle := int64(0)
+		for i := 0; i < 200; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			cycle += int64(x % 3) // repeats some cycles
+			evs = append(evs, Event{
+				Cycle: cycle, Dur: int64(x % 7), Arg: int64(i),
+				Kind: Kind(x % uint64(kindCount)), Core: uint8(c), Ctx: uint8(x % 2),
+			})
+		}
+		perCore[c] = evs
+	}
+
+	// A deterministic family of interleavings: for each seed, repeatedly
+	// pick the next core by a seeded LCG and emit its next pending event.
+	// Each interleaving is a different "schedule"; the shards see the
+	// same per-core order every time (which is exactly the guarantee a
+	// single-writer shard has under the turn gate).
+	merge := func(seed uint64) []Event {
+		sr := NewShardedRecorder(cores, 4096)
+		idx := make([]int, cores)
+		remaining := 0
+		for _, evs := range perCore {
+			remaining += len(evs)
+		}
+		x := seed
+		for remaining > 0 {
+			x = x*2862933555777941757 + 3037000493
+			c := int(x % cores)
+			for idx[c] >= len(perCore[c]) {
+				c = (c + 1) % cores
+			}
+			sr.Shard(c).Emit(perCore[c][idx[c]])
+			idx[c]++
+			remaining--
+		}
+		return sr.Events()
+	}
+
+	ref := merge(1)
+	if len(ref) == 0 {
+		t.Fatal("no events merged")
+	}
+	for seed := uint64(2); seed < 12; seed++ {
+		if got := merge(seed); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("interleaving %d produced a different merged stream", seed)
+		}
+	}
+	// The canonical order: non-decreasing cycle; within a cycle,
+	// non-decreasing core; within (cycle, core), emission order.
+	pos := make(map[uint8]int, cores)
+	for i := 1; i < len(ref); i++ {
+		a, b := ref[i-1], ref[i]
+		if b.Cycle < a.Cycle || (b.Cycle == a.Cycle && b.Core < a.Core) {
+			t.Fatalf("merged stream out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	_ = pos
+}
+
+// TestWindowSampleJSONRoundTrip: samples are the NDJSON wire format of
+// gtrun/ghostbench and gtmon's input; field names must survive a round
+// trip and include the phase-boundary marker metrics-smoke greps for.
+func TestWindowSampleJSONRoundTrip(t *testing.T) {
+	in := WindowSample{
+		Window: 3, Core: 1, Start: 60_000, End: 80_000,
+		Committed: 1234, IPC: 0.0617,
+		GhostLeadCount: 9, GhostLeadP95: 42,
+		Phase: 2, PhaseBoundary: true, PhaseDelta: 0.51,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"phase_boundary":true`) {
+		t.Fatalf("phase boundary marker missing from %s", data)
+	}
+	var out WindowSample
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed sample\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestChromeTraceWindowsCounters: windowed samples export as Perfetto
+// counter tracks that pass the validator, and the validator now rejects
+// malformed counter events (the regression the satellite fixes: "C"
+// events used to pass schema checks with no payload at all).
+func TestChromeTraceWindowsCounters(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Dur: 5, Kind: KindSerialize, Core: 0, Ctx: 1},
+	}
+	windows := []WindowSample{
+		{Window: 0, Core: 0, Start: 0, End: 100, IPC: 1.5, GhostLeadMean: 12},
+		{Window: 1, Core: 0, Start: 100, End: 200, IPC: 0.5, Phase: 1, PhaseBoundary: true},
+	}
+	data, err := ChromeTraceWindows(events, windows, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("counter-track export fails validation: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	counters := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "C" {
+			counters++
+		}
+	}
+	if counters == 0 {
+		t.Fatal("no counter events exported")
+	}
+}
+
+// TestValidateChromeRejectsBadCounters: the regression test for the
+// validator fix — counter events without args, with empty args, or with
+// non-numeric series values must all be rejected.
+func TestValidateChromeRejectsBadCounters(t *testing.T) {
+	mk := func(eventJSON string) []byte {
+		return []byte(`{"traceEvents":[` + eventJSON + `]}`)
+	}
+	for _, tc := range []struct{ name, event string }{
+		{"missing args", `{"name":"ipc","ph":"C","ts":1,"pid":0,"tid":3}`},
+		{"empty args", `{"name":"ipc","ph":"C","ts":1,"pid":0,"tid":3,"args":{}}`},
+		{"non-numeric series", `{"name":"ipc","ph":"C","ts":1,"pid":0,"tid":3,"args":{"v":"fast"}}`},
+		{"args not object", `{"name":"ipc","ph":"C","ts":1,"pid":0,"tid":3,"args":[1]}`},
+	} {
+		if err := ValidateChrome(mk(tc.event)); err == nil {
+			t.Errorf("%s: validator accepted malformed counter event", tc.name)
+		}
+	}
+	good := mk(`{"name":"ipc","ph":"C","ts":1,"pid":0,"tid":3,"args":{"v":1.5}}`)
+	if err := ValidateChrome(good); err != nil {
+		t.Errorf("validator rejected well-formed counter event: %v", err)
+	}
+}

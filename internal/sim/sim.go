@@ -62,7 +62,41 @@ type Config struct {
 	// stream and classified in Result.Shadow. Observation only — a
 	// shadowed run's Result is bit-identical minus the shadow counters.
 	Shadow ShadowConfig
+
+	// Telemetry enables streaming windowed telemetry (see obs.WindowSample
+	// and DESIGN.md §14). Observation only: a windowed run's Result is
+	// bit-identical minus Result.Windows, in every stepping mode, and
+	// windowing never disqualifies a run from parallel stepping — samples
+	// are assembled by the run coordinator at epoch-boundary flushes.
+	Telemetry TelemetryConfig
 }
+
+// TelemetryConfig configures the windowed telemetry stream.
+type TelemetryConfig struct {
+	// WindowCycles is the window length W; 0 disables telemetry. Every W
+	// cycles (and once more at end of run for the partial tail window)
+	// each core emits one WindowSample.
+	WindowCycles int64
+
+	// PhaseThreshold is the phase detector's total-variation trigger
+	// (<= 0 selects obs.DefaultPhaseThreshold).
+	PhaseThreshold float64
+
+	// GhostCounterAddr is the memory word the ghost publishes its
+	// iteration count to (core.Counters.GhostAddr) for the ghost-lead
+	// samples; the ghost only publishes when core.SyncParams.Trace is set.
+	// 0 leaves the lead series empty.
+	GhostCounterAddr int64
+
+	// Sink, when non-nil, receives every sample as it is flushed (live
+	// streaming: NDJSON writers, gtmon feeds). Called from the run
+	// coordinator goroutine, in (window, core) order. Samples also
+	// accumulate into Result.Windows regardless.
+	Sink func(obs.WindowSample)
+}
+
+// Enabled reports whether windowed telemetry is on.
+func (t TelemetryConfig) Enabled() bool { return t.WindowCycles > 0 }
 
 // ShadowConfig configures the shadow oracle.
 type ShadowConfig struct {
@@ -110,13 +144,35 @@ type System struct {
 	finishAt []int64
 	now      int64
 
-	// traced[i]/metered[i] mark core i as carrying an attached recorder
-	// or metrics hooks. Observed runs step serially: a shared recorder's
-	// event order (and the metrics observation order) is defined as the
-	// serial core order, which parallel private-compute overlap would
-	// scramble without changing any timing.
+	// traced[i]/metered[i] mark core i as carrying a SHARED attached
+	// recorder or metrics hooks (SetTrace/SetMetrics). Such runs step
+	// serially: a shared recorder's event order (and the metrics
+	// observation order) is defined as the serial core order, which
+	// parallel private-compute overlap would scramble without changing
+	// any timing. Sharded observers (SetShardedTrace/SetShardedMetrics)
+	// give each core a private shard with a deterministic merge, so they
+	// do NOT set these flags and stay parallel-eligible.
 	traced  []bool
 	metered []bool
+
+	tele        *telemetry
+	ranParallel bool
+}
+
+// telemetry is the per-run windowed-aggregation state the coordinator
+// owns: per-core snapshots of the previous flush, the per-core window
+// recorders the cores feed, and the phase detectors. All of it is read
+// and written only between epochs (after the worker barrier under
+// parallel stepping), so windowed runs need no locking.
+type telemetry struct {
+	wrec      []*obs.WindowRecorder
+	det       []*obs.PhaseDetector
+	prev      []cpu.Stats // per-core counter snapshot at the last flush
+	prevStall [][]int64   // per-core main-context stallPC copy at the last flush
+	stallBuf  []int64     // scratch delta vector, reused across flushes
+	windows   []obs.WindowSample
+	lastFlush int64
+	windowIdx int64
 }
 
 // New builds the machine over m.
@@ -142,6 +198,19 @@ func New(cfg Config, m *mem.Memory) *System {
 	if cfg.Shadow.Enabled {
 		for _, c := range s.cores {
 			c.SetShadow(cpu.NewShadow(cfg.Shadow.Buffer))
+		}
+	}
+	if cfg.Telemetry.Enabled() {
+		s.tele = &telemetry{
+			wrec:      make([]*obs.WindowRecorder, cfg.Cores),
+			det:       make([]*obs.PhaseDetector, cfg.Cores),
+			prev:      make([]cpu.Stats, cfg.Cores),
+			prevStall: make([][]int64, cfg.Cores),
+		}
+		for i, c := range s.cores {
+			s.tele.wrec[i] = obs.NewWindowRecorder()
+			s.tele.det[i] = obs.NewPhaseDetector(cfg.Telemetry.PhaseThreshold)
+			c.SetWindowRecorder(s.tele.wrec[i], cfg.Telemetry.GhostCounterAddr)
 		}
 	}
 	if cfg.Fault.Enabled() {
@@ -187,6 +256,53 @@ func (s *System) SetMetrics(i int, m *obs.CoreMetrics) {
 	s.metered[i] = m != nil
 }
 
+// SetShardedTrace attaches sr's per-core shards to the cores (nil
+// detaches all). Unlike SetTrace, sharded tracing keeps the machine
+// eligible for parallel stepping: each core is the single writer of its
+// own shard, and sr.Events() merges the shards into a deterministic
+// global order afterwards. sr must have exactly Cores() shards.
+func (s *System) SetShardedTrace(sr *obs.ShardedRecorder) {
+	if sr == nil {
+		for i, c := range s.cores {
+			c.SetTrace(nil, i)
+			s.traced[i] = false
+		}
+		return
+	}
+	if sr.Cores() != len(s.cores) {
+		panic(fmt.Sprintf("sim: sharded recorder has %d shards for %d cores", sr.Cores(), len(s.cores)))
+	}
+	for i, c := range s.cores {
+		c.SetTrace(sr.Shard(i), i)
+	}
+}
+
+// SetShardedMetrics attaches one private CoreMetrics per core (nil
+// detaches all; otherwise ms must have exactly Cores() entries, each
+// backed by its own registry). Like SetShardedTrace it keeps the machine
+// parallel-eligible — fold the per-core registries together afterwards
+// with obs.Registry.Merge, which is order-independent.
+func (s *System) SetShardedMetrics(ms []*obs.CoreMetrics) {
+	if ms == nil {
+		for i, c := range s.cores {
+			c.SetMetrics(nil)
+			s.metered[i] = false
+		}
+		return
+	}
+	if len(ms) != len(s.cores) {
+		panic(fmt.Sprintf("sim: %d metric shards for %d cores", len(ms), len(s.cores)))
+	}
+	for i, c := range s.cores {
+		c.SetMetrics(ms[i])
+	}
+}
+
+// RanParallel reports whether the last Run used the epoch-parallel
+// stepping path (the observability suites assert sharded-observed runs
+// still do).
+func (s *System) RanParallel() bool { return s.ranParallel }
+
 // Result summarises a run.
 type Result struct {
 	Cycles     int64   // cycles until the last core finished
@@ -222,6 +338,12 @@ type Result struct {
 	// summed over cores (zero when Config.Shadow is off; see
 	// cpu.ShadowStats). Divergent must be zero for a sound p-slice.
 	Shadow cpu.ShadowStats
+
+	// Windows is the telemetry time-series (empty when Config.Telemetry
+	// is off): one obs.WindowSample per (window, core), in (window, core)
+	// order. Everything else in Result is bit-identical with telemetry on
+	// or off — the differential suites zero this field and DeepEqual.
+	Windows []obs.WindowSample
 }
 
 // PrefetchAccuracy is the fraction of executed software prefetches a
@@ -269,6 +391,7 @@ func (s *System) Run() (Result, error) {
 		return s.collect()
 	}
 	sampleAt := s.cfg.SampleEvery
+	windowAt := s.cfg.Telemetry.WindowCycles
 	for {
 		allDone := true
 		for i, c := range s.cores {
@@ -285,6 +408,9 @@ func (s *System) Run() (Result, error) {
 		if s.cfg.Sampler != nil && sampleAt > 0 && s.now%sampleAt == 0 {
 			s.cfg.Sampler(s.now)
 		}
+		if windowAt > 0 && s.now%windowAt == 0 {
+			s.flushWindows()
+		}
 		if allDone {
 			break
 		}
@@ -296,6 +422,83 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 	return s.collect()
+}
+
+// flushWindows closes the telemetry window ending at the current cycle:
+// for each core, in index order, it diffs the core's counters against
+// the previous flush's snapshot, drains the core's WindowRecorder, runs
+// the phase detector over the window's stall-attribution delta, and
+// emits one WindowSample. It runs only at deterministic cycles — window
+// boundaries the skipper is capped below, and (under parallel stepping)
+// on the coordinator after the epoch barrier — so the sample stream is
+// bit-identical across stepping modes and observation never perturbs the
+// simulation (reads only; the cores never see the aggregation state).
+func (s *System) flushWindows() {
+	t := s.tele
+	start, end := t.lastFlush, s.now
+	if end <= start {
+		return
+	}
+	for i, c := range s.cores {
+		st := c.Stats()
+		prev := &t.prev[i]
+		ws := obs.WindowSample{
+			Window:    t.windowIdx,
+			Core:      i,
+			Start:     start,
+			End:       end,
+			Committed: st.Committed[0] - prev.Committed[0],
+		}
+		dur := end - start
+		ws.IPC = float64(ws.Committed) / float64(dur)
+		ws.SerializeStall = (st.SerializeStall[0] - prev.SerializeStall[0]) +
+			(st.SerializeStall[1] - prev.SerializeStall[1])
+		// Two hardware contexts share the core, so the stall budget per
+		// window is 2×dur cycles.
+		ws.SerializeStallFrac = float64(ws.SerializeStall) / float64(2*dur)
+		ws.Prefetch = st.Prefetch.Sub(prev.Prefetch)
+		for l := 1; l < 4; l++ {
+			ws.DemandBeyondL1 += st.LoadLevel[l] - prev.LoadLevel[l]
+		}
+		if total := ws.Prefetch.Issued + ws.Prefetch.Redundant; total > 0 {
+			ws.PFAccuracy = float64(ws.Prefetch.Useful()) / float64(total)
+		}
+		if useful := ws.Prefetch.Useful(); useful > 0 {
+			ws.PFCoverage = float64(useful) / float64(useful+ws.DemandBeyondL1)
+			ws.PFTimeliness = float64(ws.Prefetch.Timely) / float64(useful)
+		}
+		t.wrec[i].Drain(&ws)
+		ws.LQ = c.Sample().LQ[0]
+
+		// Phase detection over the main context's stall-attribution delta.
+		stall, _ := c.PCProfile(0)
+		if cap(t.stallBuf) < len(stall) {
+			t.stallBuf = make([]int64, len(stall))
+		}
+		delta := t.stallBuf[:len(stall)]
+		ps := t.prevStall[i]
+		for pc, v := range stall {
+			var p int64
+			if pc < len(ps) {
+				p = ps[pc]
+			}
+			delta[pc] = v - p
+		}
+		ws.Phase, ws.PhaseBoundary, ws.PhaseDelta = t.det[i].Step(delta)
+		if cap(ps) < len(stall) {
+			ps = make([]int64, len(stall))
+		}
+		t.prevStall[i] = ps[:len(stall)]
+		copy(t.prevStall[i], stall)
+
+		*prev = st
+		t.windows = append(t.windows, ws)
+		if s.cfg.Telemetry.Sink != nil {
+			s.cfg.Telemetry.Sink(ws)
+		}
+	}
+	t.lastFlush = end
+	t.windowIdx++
 }
 
 // parallelOK reports whether this run may use the epoch-parallel worker
@@ -317,6 +520,13 @@ func (s *System) parallelOK() bool {
 
 // collect gathers the aggregate Result after the main loop finishes.
 func (s *System) collect() (Result, error) {
+	if s.tele != nil {
+		// Close the partial tail window [lastFlush, now). Both stepping
+		// loops exit with the same s.now, so the tail sample is identical
+		// across modes; flushWindows no-ops when the run ended exactly on
+		// a window boundary.
+		s.flushWindows()
+	}
 	var res Result
 	res.CoreCycles = make([]int64, len(s.cores))
 	for i, c := range s.cores {
@@ -357,6 +567,9 @@ func (s *System) collect() (Result, error) {
 	res.LLCHits = s.llc.Hits + s.llc.InFlightHits
 	res.LLCMisses = s.llc.Misses
 	res.DRAMTransfers = s.mc.Transfers
+	if s.tele != nil {
+		res.Windows = s.tele.windows
+	}
 	return res, nil
 }
 
@@ -392,6 +605,12 @@ func (s *System) skipAhead(sampleAt int64) {
 		boundary := s.now - s.now%sampleAt + sampleAt
 		target = min(target, boundary-1)
 	}
+	if w := s.cfg.Telemetry.WindowCycles; w > 0 {
+		// Step onto every window boundary so flushes happen at exactly
+		// the per-cycle schedule (same trick as the sampler cap).
+		boundary := s.now - s.now%w + w
+		target = min(target, boundary-1)
+	}
 	target = min(target, s.cfg.MaxCycles-1)
 	if target <= s.now {
 		return
@@ -417,6 +636,7 @@ func (s *System) skipAhead(sampleAt int64) {
 // shared event-skip machinery: NextEvent/SkipTo run on the coordinating
 // goroutine only while no worker is stepping.
 func (s *System) runParallel() error {
+	s.ranParallel = true
 	gate := cpu.NewStepGate()
 	pool := newStepPool(min(len(s.cores), runtime.GOMAXPROCS(0)))
 	defer pool.shutdown()
@@ -431,6 +651,7 @@ func (s *System) runParallel() error {
 
 	stepping := make([]*cpu.Core, 0, len(s.cores))
 	sampleAt := s.cfg.SampleEvery
+	windowAt := s.cfg.Telemetry.WindowCycles
 	for {
 		stepping = stepping[:0]
 		for i, c := range s.cores {
@@ -452,6 +673,12 @@ func (s *System) runParallel() error {
 		s.now++
 		if s.cfg.Sampler != nil && sampleAt > 0 && s.now%sampleAt == 0 {
 			s.cfg.Sampler(s.now)
+		}
+		if windowAt > 0 && s.now%windowAt == 0 {
+			// Coordinator-only, after the epoch barrier: no worker is
+			// stepping, so reading core counters here is race-free and the
+			// flush lands at the same cycle as in the serial loop.
+			s.flushWindows()
 		}
 		if len(stepping) == 0 {
 			break

@@ -1,0 +1,248 @@
+package sim_test
+
+// window_test.go — the windowed-telemetry differential suite. Telemetry
+// must be observation only (a windowed run's Result is bit-identical
+// minus Result.Windows, in every stepping mode), the sample stream
+// itself must be bit-identical across stepping modes, and sharded
+// observation must keep a multi-core run on the parallel stepping path
+// while producing exactly the serial run's events and metrics. `make ci`
+// re-runs the parallel cases here under the race detector.
+
+import (
+	"reflect"
+	"testing"
+
+	"ghostthread/internal/obs"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/workloads"
+)
+
+// windowRun executes workload/variant with the given stepping and
+// telemetry knobs and returns the Result and core-0 window samples.
+func windowRun(t *testing.T, workload, variant string, cycleStep bool, windowCycles int64) sim.Result {
+	t.Helper()
+	build, err := workloads.Lookup(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync.Trace makes the ghost publish its counter (a program change),
+	// so it is held constant across every arm of the differential.
+	opts := workloads.ProfileOptions()
+	opts.Sync.Trace = true
+	inst := build(opts)
+	v := inst.VariantByName(variant)
+	if v == nil {
+		t.Fatalf("%s has no %s variant", workload, variant)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.CycleStep = cycleStep
+	cfg.Telemetry.WindowCycles = windowCycles
+	cfg.Telemetry.GhostCounterAddr = inst.Counters.GhostAddr
+	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
+	if err != nil {
+		t.Fatalf("%s/%s (cycleStep=%v W=%d): %v", workload, variant, cycleStep, windowCycles, err)
+	}
+	if err := inst.CheckFor(variant)(inst.Mem); err != nil {
+		t.Fatalf("%s/%s (cycleStep=%v W=%d): check: %v", workload, variant, cycleStep, windowCycles, err)
+	}
+	return res
+}
+
+// stripWindows returns res with the telemetry fields zeroed, for
+// comparing everything else bit-for-bit.
+func stripWindows(res sim.Result) sim.Result {
+	res.Windows = nil
+	return res
+}
+
+// TestWindowingDoesNotPerturbResult: enabling windowed telemetry must
+// leave every other Result field bit-identical, on both the per-cycle
+// reference loop and the event-skip fast path (whose skip targets the
+// window boundaries cap).
+func TestWindowingDoesNotPerturbResult(t *testing.T) {
+	for _, tc := range []struct{ workload, variant string }{
+		{"camel", "ghost"},
+		{"bfs.kron", "ghost"},
+	} {
+		for _, cycleStep := range []bool{true, false} {
+			off := windowRun(t, tc.workload, tc.variant, cycleStep, 0)
+			on := windowRun(t, tc.workload, tc.variant, cycleStep, 20_000)
+			if len(on.Windows) == 0 {
+				t.Fatalf("%s/%s (cycleStep=%v): windowed run emitted no samples; test proves nothing",
+					tc.workload, tc.variant, cycleStep)
+			}
+			if !reflect.DeepEqual(off, stripWindows(on)) {
+				t.Errorf("%s/%s (cycleStep=%v): windowing changed sim.Result\n off: %+v\n  on: %+v",
+					tc.workload, tc.variant, cycleStep, off, stripWindows(on))
+			}
+		}
+	}
+}
+
+// TestWindowsIdenticalAcrossStepModes: the sample stream itself — every
+// field of every window — must be the same whether the simulator stepped
+// every cycle or skipped quiescent spans, and a streaming Sink must see
+// exactly the samples Result.Windows accumulates, in order.
+func TestWindowsIdenticalAcrossStepModes(t *testing.T) {
+	for _, tc := range []struct{ workload, variant string }{
+		{"camel", "ghost"},
+		{"bfs.kron", "ghost"},
+	} {
+		ref := windowRun(t, tc.workload, tc.variant, true, 20_000)
+		opt := windowRun(t, tc.workload, tc.variant, false, 20_000)
+		if !reflect.DeepEqual(ref.Windows, opt.Windows) {
+			n := min(len(ref.Windows), len(opt.Windows))
+			for i := 0; i < n; i++ {
+				if !reflect.DeepEqual(ref.Windows[i], opt.Windows[i]) {
+					t.Errorf("%s/%s: first divergent sample at %d\n ref: %+v\nskip: %+v",
+						tc.workload, tc.variant, i, ref.Windows[i], opt.Windows[i])
+					break
+				}
+			}
+			t.Fatalf("%s/%s: window streams differ (ref %d samples, skip %d)",
+				tc.workload, tc.variant, len(ref.Windows), len(opt.Windows))
+		}
+		if ref.Windows[0].GhostLeadCount == 0 && len(ref.Windows) > 1 && ref.Windows[1].GhostLeadCount == 0 {
+			t.Errorf("%s/%s: no ghost-lead observations in early windows; check Sync.Trace wiring",
+				tc.workload, tc.variant)
+		}
+	}
+}
+
+// TestWindowSinkStreamsSamples: the Sink callback receives every sample
+// as it is flushed, in the same order Result.Windows records them.
+func TestWindowSinkStreamsSamples(t *testing.T) {
+	build, err := workloads.Lookup("camel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := build(workloads.ProfileOptions())
+	v := inst.VariantByName("ghost")
+	cfg := sim.DefaultConfig()
+	cfg.Telemetry.WindowCycles = 20_000
+	var streamed []obs.WindowSample
+	cfg.Telemetry.Sink = func(ws obs.WindowSample) { streamed = append(streamed, ws) }
+	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("sink received no samples")
+	}
+	if !reflect.DeepEqual(streamed, res.Windows) {
+		t.Fatalf("sink stream (%d samples) != Result.Windows (%d)", len(streamed), len(res.Windows))
+	}
+}
+
+// multiObserved runs the 4-core MultiGhost PageRank with the given
+// stepping mode and (optionally) the full sharded observation stack —
+// sharded trace, sharded metrics, windowed telemetry — attached. It
+// returns the Result, final memory, merged events, and merged registry
+// JSON.
+func multiObserved(t *testing.T, serial, observed bool) (sim.Result, []int64, []obs.Event, []byte, bool) {
+	t.Helper()
+	inst, err := workloads.NewMulti("pr", "kron", 4, workloads.MultiGhost, workloads.ProfileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = inst.Cores
+	cfg.SerialStep = serial
+	if observed {
+		cfg.Telemetry.WindowCycles = 50_000
+	}
+	s := sim.New(cfg, inst.Mem)
+	for c := range inst.Per {
+		s.Load(c, inst.Per[c].Main, inst.Per[c].Helpers)
+	}
+	var sr *obs.ShardedRecorder
+	var regs []*obs.Registry
+	if observed {
+		sr = obs.NewShardedRecorder(inst.Cores, obs.DefaultCapacity)
+		s.SetShardedTrace(sr)
+		ms := make([]*obs.CoreMetrics, inst.Cores)
+		regs = make([]*obs.Registry, inst.Cores)
+		for i := range ms {
+			regs[i] = obs.NewRegistry()
+			ms[i] = obs.DefaultCoreMetrics(regs[i], cfg.CPU.MSHRs, 0)
+		}
+		s.SetShardedMetrics(ms)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("pr.kron multighost (serial=%v observed=%v): %v", serial, observed, err)
+	}
+	if err := inst.Check(inst.Mem); err != nil {
+		t.Fatalf("pr.kron multighost (serial=%v observed=%v): check: %v", serial, observed, err)
+	}
+	var events []obs.Event
+	var regJSON []byte
+	if observed {
+		if sr.Dropped() > 0 {
+			t.Fatalf("sharded recorder wrapped (%d dropped); raise capacity", sr.Dropped())
+		}
+		events = sr.Events()
+		merged := obs.NewRegistry()
+		for _, r := range regs {
+			merged.Merge(r)
+		}
+		regJSON, err = merged.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res, snapshot(inst.Mem), events, regJSON, s.RanParallel()
+}
+
+// TestShardedObservationRunsParallel is the headline acceptance test:
+// a fully observed multi-core run (sharded trace + sharded metrics +
+// windowed telemetry) must (a) actually take the epoch-parallel stepping
+// path, (b) leave Result and memory bit-identical to the unobserved
+// serial reference, and (c) produce exactly the events, metrics, and
+// window samples of the observed serial run — the deterministic
+// shard-merge guarantee. Run under -race by `make ci`, this is also the
+// data-race proof for the sharded observer paths.
+func TestShardedObservationRunsParallel(t *testing.T) {
+	refRes, refMem, _, _, _ := multiObserved(t, true, false)
+	serRes, serMem, serEvents, serReg, _ := multiObserved(t, true, true)
+	parRes, parMem, parEvents, parReg, ranParallel := multiObserved(t, false, true)
+
+	if !ranParallel {
+		t.Fatal("observed run fell back to serial stepping; sharded observation must stay parallel-eligible")
+	}
+	if !reflect.DeepEqual(refRes, stripWindows(parRes)) {
+		t.Errorf("observed-parallel Result diverged from unobserved-serial\n ref: %+v\n got: %+v",
+			refRes, stripWindows(parRes))
+	}
+	if !reflect.DeepEqual(refMem, parMem) {
+		t.Error("observed-parallel memory image diverged from unobserved-serial")
+	}
+	if !reflect.DeepEqual(serRes.Windows, parRes.Windows) {
+		t.Errorf("window streams differ between serial (%d samples) and parallel (%d samples) observed runs",
+			len(serRes.Windows), len(parRes.Windows))
+	}
+	if len(parRes.Windows) == 0 {
+		t.Error("observed run emitted no window samples; test proves nothing")
+	}
+	if !reflect.DeepEqual(serEvents, parEvents) {
+		n := min(len(serEvents), len(parEvents))
+		for i := 0; i < n; i++ {
+			if serEvents[i] != parEvents[i] {
+				t.Errorf("first divergent merged event at %d\n serial: %+v\nparallel: %+v",
+					i, serEvents[i], parEvents[i])
+				break
+			}
+		}
+		t.Fatalf("merged event streams differ (serial %d, parallel %d)", len(serEvents), len(parEvents))
+	}
+	if len(parEvents) == 0 {
+		t.Error("sharded recorder captured no events; test proves nothing")
+	}
+	if string(serReg) != string(parReg) {
+		t.Errorf("merged registry JSON differs between serial and parallel observed runs\n serial: %s\nparallel: %s",
+			serReg, parReg)
+	}
+	if !reflect.DeepEqual(serMem, parMem) {
+		t.Error("memory images differ between serial and parallel observed runs")
+	}
+}
