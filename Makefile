@@ -1,7 +1,7 @@
 GO ?= go
 TRACE_OUT ?= TRACE_camel_ghost.json
 
-.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke profile-fig6 trace-smoke fault-smoke metrics-smoke metrics-golden ci
+.PHONY: build vet test race lint detlint advise-smoke verify-smoke advise-golden bench-smoke profile-fig6 trace-smoke fault-smoke metrics-smoke metrics-golden governor-smoke governor-golden ci
 
 build:
 	$(GO) build ./...
@@ -121,4 +121,27 @@ metrics-golden:
 	$(GO) run ./cmd/gtrun -workload camel -variant ghost -scale profile \
 		-window 20000 -window-out testdata/metrics_golden.ndjson > /dev/null
 
-ci: vet build race lint detlint advise-smoke verify-smoke bench-smoke trace-smoke fault-smoke metrics-smoke
+# Governor smoke: the governed bfs.kron compiler ghost must emit a
+# mid-run kill decision (the stale-slice regression EXPERIMENTS.md
+# dissects), camel's healthy manual ghost must draw zero decisions, and
+# the governed camel window stream is diffed against a checked-in
+# golden — a silent governor is a pure observer, so any drift means the
+# governor (or window accounting under it) changed behavior. Review the
+# diff, then re-bless with `make governor-golden`.
+governor-smoke:
+	$(GO) run ./cmd/ghostbench -experiment governor -workloads bfs.kron -json -quiet > GOV_bfskron.ndjson
+	@grep -q '"action":"kill"' GOV_bfskron.ndjson || \
+		{ echo "governor-smoke: no kill decision on the governed bfs.kron compiler ghost" >&2; exit 1; }
+	$(GO) run ./cmd/gtrun -workload camel -variant ghost -scale profile -govern \
+		-window-out GOVWIN_camel.ndjson > GOVRUN_camel.txt
+	@grep -q 'governor    0 decisions' GOVRUN_camel.txt || \
+		{ echo "governor-smoke: governor decided on camel's healthy ghost:" >&2; cat GOVRUN_camel.txt >&2; exit 1; }
+	diff -u testdata/governed_windows_golden.ndjson GOVWIN_camel.ndjson
+
+# Re-bless the governed-window golden after a reviewed change. Inspect
+# the diff before committing.
+governor-golden:
+	$(GO) run ./cmd/gtrun -workload camel -variant ghost -scale profile -govern \
+		-window-out testdata/governed_windows_golden.ndjson > /dev/null
+
+ci: vet build race lint detlint advise-smoke verify-smoke bench-smoke trace-smoke fault-smoke metrics-smoke governor-smoke

@@ -10,6 +10,7 @@
 //	ghostbench -experiment fig10b   # inter-thread distance, short window
 //	ghostbench -experiment resilience  # speedup vs fault intensity
 //	ghostbench -experiment advise   # static advice vs measured ghost speedup
+//	ghostbench -experiment governor # static vs adaptively-governed ghosts
 //
 // Use -csv or -json for machine-readable output, -workloads to restrict
 // the evaluation set, and -j N to evaluate N workloads in parallel
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | resilience | advise | report")
+		experiment = flag.String("experiment", "fig6", "fig3 | table1 | fig6 | fig7 | fig8 | fig9 | fig10a | fig10b | sweep | resilience | advise | governor | report")
 		sweepWl    = flag.String("sweep-workload", "camel", "workload for -experiment sweep")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut    = flag.Bool("json", false, "emit JSON (fig6/fig8; NDJSON rows for resilience)")
@@ -62,6 +63,17 @@ func main() {
 		serialStep = flag.Bool("serialstep", false, "force serial per-core stepping inside multi-core runs (disable the epoch-parallel fast path)")
 	)
 	flag.Parse()
+
+	// Flag validation before any work: a typo'd -scale must not silently
+	// sweep at the wrong scale. Usage errors exit 2, like flag parsing.
+	if *scale != "eval" && *scale != "profile" {
+		fmt.Fprintf(os.Stderr, "ghostbench: unknown -scale %q (want eval | profile)\n", *scale)
+		os.Exit(2)
+	}
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "ghostbench: -window must be non-negative, got %d\n", *window)
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -273,6 +285,31 @@ func main() {
 		} else {
 			fmt.Println("Advise: static ghost-benefit prediction vs measured ghost speedup")
 			fmt.Print(harness.RenderAdvise(sum))
+		}
+
+	case "governor":
+		// Static ghosts versus the same ghosts under the adaptive
+		// governor (internal/gov). The interesting rows: a harmful
+		// compiler slice (bfs.kron) recovered to ≥ 1.0×, and healthy
+		// ghosts left alone. A missing row means the workload has no
+		// ghost of that kind.
+		gnames := names
+		if *workSet == "" {
+			gnames = []string{"camel", "hj8", "kangaroo", "bfs.kron", "cc.urand"}
+		}
+		gw := *window
+		if gw <= 0 {
+			gw = 20000
+		}
+		rows := harness.GovernorExperiment(gnames, idleCfg, gw)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			for _, r := range rows {
+				check(enc.Encode(r))
+			}
+		} else {
+			fmt.Println("Governor: static ghosts vs the adaptive governor (speedup over no-helper baseline)")
+			fmt.Print(harness.RenderGovernor(rows))
 		}
 
 	case "report":

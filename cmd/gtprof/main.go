@@ -27,6 +27,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// A typo'd -scale must not silently profile at the wrong scale; like
+	// flag-parse errors this exits 2 before any workload is built.
+	if *scale != "eval" && *scale != "profile" {
+		fmt.Fprintf(os.Stderr, "gtprof: unknown -scale %q (want eval | profile)\n", *scale)
+		os.Exit(2)
+	}
+
 	build, err := workloads.Lookup(*workload)
 	if err != nil {
 		fatal(err)

@@ -6,6 +6,13 @@
 //	gtrun -workload hj8 -variant swpf -busy
 //	gtrun -workload bfs.kron -variant baseline -scale profile
 //	gtrun -workload camel -variant ghost -fault seed=7,preempt=20000,plen=4000
+//	gtrun -workload camel -variant ghost -govern -window 20000
+//
+// -govern runs the variant under the adaptive governor (internal/gov):
+// windowed telemetry feeds the per-core controller, which may kill a
+// ghost that stops earning its keep and respawn it at phase boundaries.
+// The decision log is printed after the run (and is bit-identical across
+// stepping modes and replays).
 //
 // -fault injects a deterministic fault schedule (see internal/fault):
 // ghost preemption windows (preempt/plen), a one-shot ghost kill (kill),
@@ -24,6 +31,7 @@ import (
 	"strings"
 
 	"ghostthread/internal/fault"
+	"ghostthread/internal/gov"
 	"ghostthread/internal/obs"
 	"ghostthread/internal/sim"
 	"ghostthread/internal/workloads"
@@ -38,9 +46,25 @@ func main() {
 		faultArg  = flag.String("fault", "", "fault-injection spec, e.g. seed=1,preempt=20000,plen=4000 ('off' or empty = none)")
 		window    = flag.Int64("window", 0, "emit a windowed-telemetry sample every N cycles (0 = off; enables sync tracing)")
 		windowOut = flag.String("window-out", "-", "write telemetry NDJSON here ('-' = stdout)")
+		govern    = flag.Bool("govern", false, "run under the adaptive governor (implies -window 20000 when -window is unset)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
+
+	// Flag validation happens before any workload is built: a typo'd
+	// -scale must not silently run at eval scale, and like flag-parse
+	// errors it exits 2 (distinct from a failed run's 1).
+	switch *scale {
+	case "eval", "profile":
+	default:
+		usage(fmt.Errorf("unknown -scale %q (want eval or profile)", *scale))
+	}
+	if *window < 0 {
+		usage(fmt.Errorf("-window must be non-negative, got %d", *window))
+	}
+	if *govern && *window == 0 {
+		*window = 20000
+	}
 
 	if *list {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
@@ -98,6 +122,12 @@ func main() {
 			}
 		}
 	}
+	if *govern {
+		g := gov.Default()
+		g.MainCounterAddr = inst.Counters.MainAddr
+		cfg.Telemetry.GhostCounterAddr = inst.Counters.GhostAddr
+		cfg.Governor = g
+	}
 	res, err := sim.RunProgram(cfg, inst.Mem, v.Main, v.Helpers)
 	if err != nil {
 		fatal(err)
@@ -133,6 +163,13 @@ func main() {
 		fmt.Printf("telemetry   %d windows (W=%d cycles), %d phase boundaries\n",
 			len(res.Windows), *window, boundaries)
 	}
+	if *govern {
+		fmt.Printf("governor    %d decisions (kills %d, respawns %d)\n",
+			len(res.GovDecisions), res.GovKills, res.GovRespawns)
+		for _, d := range res.GovDecisions {
+			fmt.Printf("  w%-5d c%-9d core%d %-8s %s\n", d.Window, d.Cycle, d.Core, d.Action, d.Reason)
+		}
+	}
 	if cfg.Fault.Enabled() {
 		f := res.Fault
 		fmt.Printf("faults      %s\n", cfg.Fault)
@@ -149,4 +186,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gtrun:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error with the flag package's own
+// exit code (2), keeping "you typed the wrong thing" distinct from "the
+// run failed" (1).
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "gtrun:", err)
+	os.Exit(2)
 }

@@ -67,6 +67,9 @@ func main() {
 	if *bufSize <= 0 {
 		usageError(fmt.Sprintf("-buf must be positive, got %d", *bufSize))
 	}
+	if *window < 0 {
+		usageError(fmt.Sprintf("-window must be non-negative, got %d", *window))
+	}
 
 	build, err := workloads.Lookup(*workload)
 	fatalIf(err)

@@ -47,7 +47,22 @@ type SyncParams struct {
 	// inter-thread distance (figure 10). It costs one store per
 	// iteration, so it is off for performance runs.
 	Trace bool
+
+	// TooFarAddr/CloseAddr, when both non-zero, select the dynamic-sync
+	// segment: instead of baking TooFar and Close into the ghost as AddI
+	// immediates, the segment loads them from these governor-owned memory
+	// words at every check, so an online governor (internal/gov) can
+	// retune the sync window mid-run by plain stores. The words must be
+	// initialised to the static TooFar/Close values before the run; the
+	// loads carry isa.FlagGovParam so the ghost-lead tap ignores them.
+	// Both zero (the default) keeps the classic static segment and an
+	// unchanged register layout.
+	TooFarAddr int64
+	CloseAddr  int64
 }
+
+// Dynamic reports whether the parameters select the dynamic-sync segment.
+func (p SyncParams) Dynamic() bool { return p.TooFarAddr != 0 && p.CloseAddr != 0 }
 
 // DefaultSyncParams returns the tuned defaults used by the evaluation.
 // Like the paper's, they were tuned on the evaluation machine (here: the
@@ -82,6 +97,14 @@ func (p SyncParams) Validate() error {
 	if p.MaxBackoff <= 0 {
 		return fmt.Errorf("core: MaxBackoff %d must be positive", p.MaxBackoff)
 	}
+	if (p.TooFarAddr != 0) != (p.CloseAddr != 0) {
+		return fmt.Errorf("core: dynamic sync needs both threshold words (TooFarAddr %d, CloseAddr %d)",
+			p.TooFarAddr, p.CloseAddr)
+	}
+	if p.TooFarAddr < 0 || p.CloseAddr < 0 {
+		return fmt.Errorf("core: negative sync threshold word address (TooFarAddr %d, CloseAddr %d)",
+			p.TooFarAddr, p.CloseAddr)
+	}
 	return nil
 }
 
@@ -107,7 +130,22 @@ type SyncState struct {
 	backoff isa.Reg
 	mainA   isa.Reg // register holding Counters.MainAddr
 	traceA  isa.Reg // register holding Counters.GhostAddr
+
+	// Dynamic-sync registers, allocated only when Params.Dynamic():
+	// address registers for the two threshold words and a scratch
+	// register holding the most recently loaded threshold value.
+	tooFarA isa.Reg
+	closeA  isa.Reg
+	thr     isa.Reg
 }
+
+// SyncRegs is the number of registers NewSync allocates for a static
+// sync segment; DynamicSyncRegs for a dynamic one. Slicers reserve this
+// much headroom below isa.NumRegs.
+const (
+	SyncRegs        = 8
+	DynamicSyncRegs = SyncRegs + 3
+)
 
 // NewSync allocates and initialises the synchronization registers in the
 // ghost program under construction.
@@ -124,6 +162,11 @@ func NewSync(b *isa.Builder, params SyncParams, ctr Counters) *SyncState {
 	st.backoff = b.Reg()
 	st.mainA = b.Imm(ctr.MainAddr)
 	st.traceA = b.Imm(ctr.GhostAddr)
+	if params.Dynamic() {
+		st.tooFarA = b.Imm(params.TooFarAddr)
+		st.closeA = b.Imm(params.CloseAddr)
+		st.thr = b.Reg()
+	}
 	return st
 }
 
@@ -135,6 +178,29 @@ func EmitUpdate(b *isa.Builder, counterAddrReg, one isa.Reg, dst isa.Reg) int {
 	idx := b.AtomicAdd(dst, counterAddrReg, 0, one)
 	b.FlagRange(start, b.Len(), isa.FlagSync)
 	return idx
+}
+
+// emitCloseBound emits tmp = main_counter + CLOSE: the static immediate,
+// or (dynamic sync) a flagged load of the governor-owned Close word.
+func (st *SyncState) emitCloseBound(b *isa.Builder) {
+	if !st.Params.Dynamic() {
+		b.AddI(st.tmp, st.mainR, st.Params.Close)
+		return
+	}
+	idx := b.Load(st.thr, st.closeA, 0)
+	b.FlagRange(idx, idx+1, isa.FlagGovParam)
+	b.Add(st.tmp, st.mainR, st.thr)
+}
+
+// emitTooFarBound emits tmp = main_counter + TOO_FAR (see emitCloseBound).
+func (st *SyncState) emitTooFarBound(b *isa.Builder) {
+	if !st.Params.Dynamic() {
+		b.AddI(st.tmp, st.mainR, st.Params.TooFar)
+		return
+	}
+	idx := b.Load(st.thr, st.tooFarA, 0)
+	b.FlagRange(idx, idx+1, isa.FlagGovParam)
+	b.Add(st.tmp, st.mainR, st.thr)
 }
 
 // EmitSync emits one iteration's synchronization segment into the ghost
@@ -162,7 +228,7 @@ func EmitSync(b *isa.Builder, st *SyncState, skip func()) {
 	throttle := b.HereLabel()
 	b.Serialize()
 	b.Load(st.mainR, st.mainA, 0)
-	b.AddI(st.tmp, st.mainR, p.Close)
+	st.emitCloseBound(b)
 	b.BLT(st.Local, st.tmp, caughtUp)
 	b.AddI(st.backoff, st.backoff, -1)
 	b.BGT(st.backoff, st.zero, throttle)
@@ -193,14 +259,14 @@ func EmitSync(b *isa.Builder, st *SyncState, skip func()) {
 	// else if (local_counter >= main_counter + TOO_FAR) flag = true;
 	b.Bind(notBehind)
 	notTooFar := b.NewLabel()
-	b.AddI(st.tmp, st.mainR, p.TooFar)
+	st.emitTooFarBound(b)
 	b.BLT(st.Local, st.tmp, notTooFar)
 	b.Const(st.Flag, 1)
 	b.Jmp(end)
 
 	// else if (local_counter <= main_counter + CLOSE) flag = false;
 	b.Bind(notTooFar)
-	b.AddI(st.tmp, st.mainR, p.Close)
+	st.emitCloseBound(b)
 	b.BGT(st.Local, st.tmp, end)
 	b.Const(st.Flag, 0)
 

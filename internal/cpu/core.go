@@ -174,6 +174,31 @@ type Core struct {
 	Stores        int64
 	Prefetches    int64
 	Spawns        int64
+	GovKills      int64 // governor kill decisions that retired a live ghost
+	GovRespawns   int64 // governor re-spawns executed
+
+	// Governor state: the last helper id the main program spawned (-1
+	// before any spawn — the governor can only re-spawn what once ran),
+	// whether re-spawning is permanently off (main joined, or a fault
+	// kill revoked the ghost context), and the main-counter word the
+	// respawn handler re-zeroes to re-align the sync distance (0 = none).
+	lastHid    int
+	noRespawn  bool
+	govCtrAddr int64
+
+	// PC-synchronized respawn (SetGovResync). A window boundary is an
+	// arbitrary point in the main loop body, so the main context's
+	// registers there are mid-iteration state — worthless as ghost entry
+	// values. When govResyncPC is set, evGovRespawn only ARMS the
+	// trigger; the actual re-seed fires when the main thread next
+	// dispatches the region-loop header, where the loop-carried live-ins
+	// are exactly what OpSpawn would have captured. govAtResync
+	// edge-detects the arrival (a stalled header must not re-fire every
+	// cycle); govRespawnCap bounds total governor respawns.
+	govResyncPC   int64
+	govRespawnCap int64
+	govArmed      bool
+	govAtResync   bool
 
 	// Accumulated per-context counters surviving helper re-spawns.
 	accCommitted  [2]int64
@@ -240,6 +265,14 @@ func (c *Core) Load(main *isa.Program, helpers []*isa.Program) {
 	c.accSerStall = [2]int64{}
 	c.accFrontend = [2]int64{}
 	c.ghostStart = 0
+	c.lastHid = -1
+	c.noRespawn = false
+	// PC-synced re-seeding is armed from the start: a per-phase ghost
+	// needs fresh live-ins at EVERY region-header crossing, including the
+	// first ones, or it misses whole phases waiting for a governor
+	// decision. A governor kill disarms; a respawn decision re-arms.
+	c.govArmed = c.govResyncPC > 0
+	c.govAtResync = false
 	c.now = 0
 	c.events.reset()
 	nmshr := c.cfg.MSHRs
@@ -600,7 +633,67 @@ func (c *Core) processEvents() {
 			if c.deactivateHelper() {
 				c.fault.Stats.Kills++
 			}
+			// The OS revoked the ghost's context: the governor must not
+			// resurrect what the fault schedule killed.
+			c.noRespawn = true
+		case evGovKill:
+			// Disarm PC-synced re-seeding too: a kill that left the header
+			// trigger armed would be undone at the next crossing.
+			c.govArmed = false
+			if c.deactivateHelper() {
+				c.GovKills++
+				if c.trace != nil {
+					c.trace.Emit(obs.Event{Cycle: c.now, Kind: obs.KindGovKill,
+						Core: c.id, Ctx: 1})
+				}
+			}
+		case evGovRespawn:
+			if c.govResyncPC > 0 {
+				// Defer the re-seed to the main thread's next region-loop
+				// header crossing (see dispatchRun) — and keep it armed, so
+				// every later crossing refreshes the ghost for its phase.
+				c.govArmed = true
+			} else {
+				c.govRespawn()
+			}
 		}
+	}
+}
+
+// govRespawn handles one evGovRespawn trigger: re-spawn the last helper
+// the main program launched, seeding it with the main context's CURRENT
+// register values — the same closure capture OpSpawn performs, but taken
+// now, so loop-carried live-ins that went stale since the original spawn
+// (per-level bounds, frontier pointers) are re-synchronized. A live ghost
+// is replaced (the manual per-level bfs ghost re-spawns over a live
+// sibling the same way); main pays no spawn cost — the governor, not the
+// main program, initiates this. The main sync counter word is re-zeroed
+// so the fresh ghost's local count and the published count restart
+// aligned, exactly like the counter reset rewriteMain emits before
+// OpSpawn. No-op once main has halted or joined, after a fault kill, or
+// before any first spawn.
+func (c *Core) govRespawn() {
+	t0 := &c.threads[0]
+	if c.lastHid < 0 || c.noRespawn || t0.halted || t0.finished {
+		return
+	}
+	if c.govRespawnCap > 0 && c.GovRespawns >= c.govRespawnCap {
+		return
+	}
+	c.deactivateHelper() // settle accounting of a live-but-stale ghost
+	c.accumulate(1)
+	c.threads[1].reset(c.helpers[c.lastHid], c.dhelpers[c.lastHid], c.cfg.ROBSize, c.now+c.cfg.SpawnCostHelper)
+	c.threads[1].regs = t0.regs
+	c.Spawns++
+	c.GovRespawns++
+	c.ghostStart = c.now
+	if c.govCtrAddr > 0 {
+		c.turn()
+		c.mem.StoreWord(c.govCtrAddr, 0)
+	}
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Cycle: c.now, Arg: int64(c.lastHid),
+			Kind: obs.KindGovRespawn, Core: c.id, Ctx: 1})
 	}
 }
 
@@ -881,6 +974,23 @@ func (c *Core) dispatch() {
 func (c *Core) dispatchRun(t *thread, slots int) int {
 	if !t.active || t.halted || t.finished || c.err != nil {
 		return 0
+	}
+	if t.id == 0 && c.govArmed {
+		// Armed PC-synchronized respawn: re-seed the ghost the moment the
+		// main thread arrives back at the region-loop header, where its
+		// loop-carried registers are valid ghost entry state (registers
+		// are computed at dispatch in this engine, so everything before
+		// the backedge has executed). Edge-detected: a header stalled on
+		// the ROB or fetch block must re-seed once, not every cycle. The
+		// check sits before the structural blocks for exactly that reason.
+		if int64(t.pc) == c.govResyncPC {
+			if !c.govAtResync {
+				c.govAtResync = true
+				c.govRespawn()
+			}
+		} else {
+			c.govAtResync = false
+		}
 	}
 	if c.now < t.startAt || c.now < t.fetchBlockedUntil || t.serializeBlocked {
 		return 0
@@ -1226,6 +1336,7 @@ func (c *Core) dispatchOne(t *thread) bool {
 		// threads rely on this for their live-ins.
 		c.threads[1].regs = t.regs
 		c.Spawns++
+		c.lastHid = hid
 		c.ghostStart = c.now
 		if c.trace != nil {
 			c.trace.Emit(obs.Event{Cycle: c.now, Arg: int64(hid),
@@ -1237,6 +1348,9 @@ func (c *Core) dispatchOne(t *thread) bool {
 		}
 	case isa.OpJoin:
 		c.deactivateHelper()
+		// Main is past the ghosted region: a governor re-spawn after this
+		// point would prefetch against code main no longer runs.
+		c.noRespawn = true
 		if c.trace != nil {
 			c.trace.Emit(obs.Event{Cycle: c.now, Kind: obs.KindGhostJoin,
 				Core: c.id, Ctx: uint8(t.id)})
@@ -1266,7 +1380,7 @@ func (c *Core) dispatchOne(t *thread) bool {
 	}
 	if (c.wrec != nil || (c.met != nil && c.met.GhostLead != nil)) &&
 		t.id == 1 && in.Op == isa.OpLoad &&
-		in.Flags&(isa.FlagSync|isa.FlagSyncSkip) == isa.FlagSync {
+		in.Flags&(isa.FlagSync|isa.FlagSyncSkip|isa.FlagGovParam) == isa.FlagSync {
 		// A sync check: the ghost just read the main thread's published
 		// counter. Its own count is the published ghost counter word
 		// (requires core.SyncParams.Trace).
@@ -1394,6 +1508,44 @@ func (c *Core) SetWindowRecorder(w *obs.WindowRecorder, ghostAddr int64) {
 // SetFault attaches (or with nil detaches) a fault injector. Attach
 // before Load: Load schedules the injector's timing-wheel triggers.
 func (c *Core) SetFault(inj *fault.Injector) { c.fault = inj }
+
+// SetGovCounter tells the governor hooks which memory word holds the
+// main thread's published sync counter (core.Counters.MainAddr); the
+// re-spawn handler re-zeroes it to re-align the inter-thread distance.
+// 0 (the default) skips the reset.
+func (c *Core) SetGovCounter(addr int64) { c.govCtrAddr = addr }
+
+// SetGovResync arms PC-synchronized re-spawning: an evGovRespawn no
+// longer re-seeds the helper at the (arbitrary) window-boundary cycle —
+// where the main context's registers are mid-iteration garbage as ghost
+// entry state — but sets a trigger that fires when the MAIN thread next
+// dispatches pc, the rewritten main's region-loop header
+// (slice.Result.ResyncPC). There the loop-carried live-ins are exactly
+// the values OpSpawn would have captured, so the fresh ghost starts the
+// new outer iteration (BFS level, join partition) in lock-step with
+// main. The trigger is sticky: once armed, EVERY later header crossing
+// re-seeds — converting a phase-stale slice into a per-phase adaptive
+// ghost — until cap total governor respawns (0 = unbounded), a join, or
+// a fault kill retires the context for good. The header dispatch is a
+// stepped cycle in every stepping mode, so PC-synced respawns preserve
+// bit-identical replay.
+func (c *Core) SetGovResync(pc, cap int64) { c.govResyncPC, c.govRespawnCap = pc, cap }
+
+// ScheduleGovKill schedules a governor ghost-kill for the next stepped
+// cycle. It rides the timing wheel exactly like the evFaultKill trigger,
+// so it fires at the same cycle under per-cycle stepping, event skipping,
+// and parallel stepping (NextEvent never skips past a pending wheel
+// event). Call only between steps (window-boundary flushes qualify).
+func (c *Core) ScheduleGovKill() {
+	c.events.push(c.now, event{at: c.now + 1, kind: evGovKill})
+}
+
+// ScheduleGovRespawn schedules a governor ghost re-spawn for the next
+// stepped cycle (see ScheduleGovKill for the determinism argument and
+// govRespawn for the semantics).
+func (c *Core) ScheduleGovRespawn() {
+	c.events.push(c.now, event{at: c.now + 1, kind: evGovRespawn})
+}
 
 // FaultStats returns the counters of faults actually injected so far
 // (zero when no injector is attached).

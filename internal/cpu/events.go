@@ -4,10 +4,14 @@ import "math/bits"
 
 // event kinds processed by the core's timing wheel. The analytic engine
 // fixes every instruction's issue and completion cycles at dispatch, so
-// the wheel carries only the fault injector's asynchronous triggers.
+// the wheel carries only asynchronous triggers: the fault injector's and
+// the adaptive governor's (internal/gov), which both ride the same
+// deterministic mechanism.
 const (
 	evFaultPreempt = iota // a ghost-preemption window begins (internal/fault)
 	evFaultKill           // the one-shot ghost-kill fault fires
+	evGovKill             // the governor retires a negative-benefit ghost
+	evGovRespawn          // the governor re-spawns the ghost with fresh live-ins
 )
 
 type event struct {

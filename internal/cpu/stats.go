@@ -23,6 +23,8 @@ type Stats struct {
 	Stores        int64
 	Prefetches    int64
 	Spawns        int64
+	GovKills      int64
+	GovRespawns   int64
 
 	L1Hits, L1InFlightHits, L1Misses int64
 	L2Hits, L2InFlightHits, L2Misses int64
@@ -41,6 +43,8 @@ func (c *Core) Stats() Stats {
 		Stores:        c.Stores,
 		Prefetches:    c.Prefetches,
 		Spawns:        c.Spawns,
+		GovKills:      c.GovKills,
+		GovRespawns:   c.GovRespawns,
 		HWPrefetches:  c.hier.HWPrefetches,
 		Prefetch:      c.hier.PrefetchQuality(),
 	}

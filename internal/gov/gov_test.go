@@ -1,0 +1,276 @@
+package gov
+
+import (
+	"testing"
+
+	"ghostthread/internal/cache"
+	"ghostthread/internal/obs"
+)
+
+// healthy returns a window sample no negative-benefit rule should
+// condemn: a decent prefetch sample, accurate, timely, leading.
+func healthy(core int) *obs.WindowSample {
+	return &obs.WindowSample{
+		Core:           core,
+		HelperActive:   true,
+		GhostLeadCount: 100,
+		GhostLeadP50:   40,
+		GhostLeadP95:   80,
+		Prefetch:       cache.PrefetchQuality{Issued: 500, Redundant: 100, Timely: 300, Late: 50},
+		PFAccuracy:     0.7,
+		PFTimeliness:   0.86,
+	}
+}
+
+func step(g *Governor, w int64, ws *obs.WindowSample) []Decision {
+	return g.Step(w, w*20000, []*obs.WindowSample{ws})
+}
+
+func TestNegativeRules(t *testing.T) {
+	g := New(Config{Enabled: true}.withDefaults(), 1)
+	cases := []struct {
+		name string
+		ws   obs.WindowSample
+		why  string
+	}{
+		{"silent", obs.WindowSample{HelperActive: true}, "silent"},
+		{"garbage", obs.WindowSample{HelperActive: true,
+			Prefetch:   cache.PrefetchQuality{Issued: 100, Redundant: 20},
+			PFAccuracy: 0.05, GhostLeadCount: 10, GhostLeadP50: 30}, "garbage"},
+		{"lost", obs.WindowSample{HelperActive: true,
+			GhostLeadCount: 50, GhostLeadP50: -5,
+			Prefetch: cache.PrefetchQuality{Issued: 4}, PFAccuracy: 0.5}, "lost"},
+		{"wasted", obs.WindowSample{HelperActive: true,
+			GhostLeadCount: 20, GhostLeadP50: 1,
+			Prefetch:     cache.PrefetchQuality{Issued: 100, Redundant: 250, Timely: 2},
+			PFAccuracy:   0.3,
+			PFTimeliness: 0.02}, "wasted"},
+	}
+	for _, c := range cases {
+		neg, why := g.negative(&c.ws)
+		if !neg || why != c.why {
+			t.Errorf("%s: negative() = (%v, %q), want (true, %q)", c.name, neg, why, c.why)
+		}
+	}
+	if neg, why := g.negative(healthy(0)); neg {
+		t.Errorf("healthy sample judged negative (%s)", why)
+	}
+	// Redundant-heavy but timely: a fresh ghost sprinting through a
+	// half-warm region must not be condemned as wasted.
+	warm := healthy(0)
+	warm.Prefetch = cache.PrefetchQuality{Issued: 100, Redundant: 300, Timely: 80}
+	warm.PFTimeliness = 0.8
+	if neg, why := g.negative(warm); neg {
+		t.Errorf("timely redundant-heavy sample judged negative (%s)", why)
+	}
+}
+
+// TestKillAfterConsecutiveNegatives: warmup windows are exempt, then
+// KillAfter consecutive negative windows emit exactly one kill.
+func TestKillAfterConsecutiveNegatives(t *testing.T) {
+	g := New(Config{Enabled: true, KillAfter: 3, Warmup: 2}, 1)
+	bad := func() *obs.WindowSample { return &obs.WindowSample{HelperActive: true} } // silent
+	var kills []Decision
+	w := int64(0)
+	for ; w < 10 && len(kills) == 0; w++ {
+		for _, d := range step(g, w, bad()) {
+			if d.Action == ActionKill {
+				kills = append(kills, d)
+			}
+		}
+	}
+	// The first two windows are warmup (cs.windows must exceed 2), so the
+	// streak builds at windows 2,3,4 and the kill lands at window 4.
+	if len(kills) != 1 {
+		t.Fatalf("%d kills, want exactly 1 (got %+v)", len(kills), kills)
+	}
+	if kills[0].Window != 4 {
+		t.Errorf("kill at window %d, want 4 (2 warmup windows + streak of 3)", kills[0].Window)
+	}
+	if kills[0].Reason != "silent" {
+		t.Errorf("kill reason %q, want silent", kills[0].Reason)
+	}
+	// The kill deactivates the helper; with no revival configured the
+	// governor stays silent for the rest of the run.
+	for ; w < 10; w++ {
+		if ds := step(g, w, &obs.WindowSample{}); len(ds) != 0 {
+			t.Fatalf("window %d decisions %+v after the kill, want none", w, ds)
+		}
+	}
+}
+
+// TestHealthyInterruptsStreak: one good window resets the negative
+// streak, so intermittent badness under KillAfter never kills.
+func TestHealthyInterruptsStreak(t *testing.T) {
+	g := New(Config{Enabled: true, KillAfter: 3, Warmup: 0}, 1)
+	for w := int64(0); w < 20; w++ {
+		var ws *obs.WindowSample
+		if w%3 == 2 {
+			ws = healthy(0)
+		} else {
+			ws = &obs.WindowSample{HelperActive: true} // silent
+		}
+		for _, d := range step(g, w, ws) {
+			if d.Action == ActionKill {
+				t.Fatalf("kill at window %d despite streak never reaching 3", w)
+			}
+		}
+	}
+}
+
+// TestReviveAtPhaseBoundary: a killed ghost comes back at the next
+// phase boundary, and the respawn counter caps revivals.
+func TestReviveAtPhaseBoundary(t *testing.T) {
+	g := New(Config{Enabled: true, KillAfter: 1, Warmup: 1, RespawnOnPhase: true, MaxRespawns: 1}, 1)
+	step(g, 0, &obs.WindowSample{HelperActive: true}) // warmup
+	ds := step(g, 1, &obs.WindowSample{HelperActive: true})
+	if len(ds) != 1 || ds[0].Action != ActionKill {
+		t.Fatalf("window 1 decisions %+v, want one kill", ds)
+	}
+	// Dead, no boundary: nothing.
+	if ds := step(g, 2, &obs.WindowSample{}); len(ds) != 0 {
+		t.Fatalf("window 2 decisions %+v, want none", ds)
+	}
+	ds = step(g, 3, &obs.WindowSample{PhaseBoundary: true})
+	if len(ds) != 1 || ds[0].Action != ActionRespawn || ds[0].Reason != "phase-boundary" {
+		t.Fatalf("window 3 decisions %+v, want one phase-boundary respawn", ds)
+	}
+	// Killed again, but MaxRespawns=1 is spent: no more revivals.
+	step(g, 4, &obs.WindowSample{HelperActive: true})
+	step(g, 5, &obs.WindowSample{HelperActive: true})
+	if ds := step(g, 6, &obs.WindowSample{PhaseBoundary: true}); len(ds) != 0 {
+		t.Fatalf("window 6 decisions %+v, want none (respawn cap spent)", ds)
+	}
+}
+
+// TestRevivePeriod: with RevivePeriod set, a killed ghost comes back
+// after the period even without a phase boundary.
+func TestRevivePeriod(t *testing.T) {
+	g := New(Config{Enabled: true, KillAfter: 1, Warmup: 1, RevivePeriod: 3}, 1)
+	step(g, 0, &obs.WindowSample{HelperActive: true})
+	step(g, 1, &obs.WindowSample{HelperActive: true}) // kill at 1
+	for w := int64(2); w < 4; w++ {
+		if ds := step(g, w, &obs.WindowSample{}); len(ds) != 0 {
+			t.Fatalf("window %d decisions %+v, want none yet", w, ds)
+		}
+	}
+	ds := step(g, 4, &obs.WindowSample{})
+	if len(ds) != 1 || ds[0].Action != ActionRespawn || ds[0].Reason != "revive-period" {
+		t.Fatalf("window 4 decisions %+v, want one revive-period respawn", ds)
+	}
+}
+
+// TestGovRespawnedResetsWarmup: a core-side PC-synced re-seed restarts
+// the warmup clock, so a fresh ghost is not judged on the old one's
+// streak.
+func TestGovRespawnedResetsWarmup(t *testing.T) {
+	g := New(Config{Enabled: true, KillAfter: 2, Warmup: 2}, 1)
+	// Two warmup + one negative window: streak = 1.
+	for w := int64(0); w < 3; w++ {
+		step(g, w, &obs.WindowSample{HelperActive: true})
+	}
+	// Re-seed: the next negative windows are warmup again.
+	ws := &obs.WindowSample{HelperActive: true, GovRespawned: true}
+	if ds := step(g, 3, ws); len(ds) != 0 {
+		t.Fatalf("decisions %+v right after re-seed, want none", ds)
+	}
+	for w := int64(4); w < 6; w++ {
+		if ds := step(g, w, &obs.WindowSample{HelperActive: true}); len(ds) != 0 {
+			t.Fatalf("window %d decisions %+v during renewed warmup, want none", w, ds)
+		}
+	}
+}
+
+// TestSelfRetireMarksKilledUnderResync: with ResyncPC configured, a
+// per-phase ghost that retired itself (inactive, but with evidence it
+// lived) is marked down like a kill so the revival rules re-arm it.
+func TestSelfRetireMarksKilledUnderResync(t *testing.T) {
+	g := New(Config{Enabled: true, ResyncPC: 19, RespawnOnPhase: true}, 1)
+	// Ghost started and finished inside one window: inactive at the
+	// flush, but it prefetched — evidence of a completed phase.
+	ws := &obs.WindowSample{Prefetch: cache.PrefetchQuality{Issued: 40}}
+	step(g, 0, ws)
+	ds := step(g, 1, &obs.WindowSample{PhaseBoundary: true})
+	if len(ds) != 1 || ds[0].Action != ActionRespawn {
+		t.Fatalf("decisions %+v, want one respawn after self-retire", ds)
+	}
+	// Without ResyncPC the same stream is just a dead helper: no respawn
+	// (it was never governor-killed).
+	g2 := New(Config{Enabled: true, RespawnOnPhase: true}, 1)
+	step(g2, 0, ws)
+	if ds := step(g2, 1, &obs.WindowSample{PhaseBoundary: true}); len(ds) != 0 {
+		t.Fatalf("decisions %+v without ResyncPC, want none", ds)
+	}
+}
+
+// TestRetuneDirectionsAndClamps: accurate-but-late doubles the window,
+// inaccurate-and-far halves it, both respecting the clamps and the
+// cooldown.
+func TestRetuneDirectionsAndClamps(t *testing.T) {
+	cfg := Config{Enabled: true, Retune: true, TooFarAddr: 1, CloseAddr: 2,
+		TooFarInit: 96, CloseInit: 48, RetuneCooldown: 2, MaxTooFar: 256, MinTooFar: 8}
+	g := New(cfg, 1)
+
+	late := healthy(0)
+	late.PFAccuracy, late.PFTimeliness = 0.8, 0.2
+	late.GhostLeadP95 = 50 // under TooFar: the throttle is the limiter
+	ds := step(g, 0, late)
+	if len(ds) != 1 || ds[0].Action != ActionRetune || ds[0].TooFar != 192 || ds[0].Close != 96 {
+		t.Fatalf("decisions %+v, want accurate-late retune to 192/96", ds)
+	}
+	// Cooldown: identical windows produce no decision.
+	for w := int64(1); w <= 2; w++ {
+		if ds := step(g, w, late); len(ds) != 0 {
+			t.Fatalf("window %d decisions %+v during cooldown, want none", w, ds)
+		}
+	}
+	// Next accurate-late doubling clamps at MaxTooFar.
+	ds = step(g, 3, late)
+	if len(ds) != 1 || ds[0].TooFar != 256 {
+		t.Fatalf("decisions %+v, want clamp at 256", ds)
+	}
+
+	g2 := New(cfg, 1)
+	far := healthy(0)
+	far.PFAccuracy = 0.1
+	far.Prefetch = cache.PrefetchQuality{Issued: 200, Redundant: 20, Timely: 30}
+	far.GhostLeadP50 = 90 // way past TooFar/2: the lead is the problem
+	ds = step(g2, 0, far)
+	if len(ds) != 1 || ds[0].Action != ActionRetune || ds[0].TooFar != 48 {
+		t.Fatalf("decisions %+v, want inaccurate-far retune to 48", ds)
+	}
+}
+
+// TestMSHRBudgetKillsLeastAccurate: over budget, the least accurate
+// live ghost is retired first, deterministically.
+func TestMSHRBudgetKillsLeastAccurate(t *testing.T) {
+	g := New(Config{Enabled: true, MSHRBudget: 20}, 3)
+	a, b, c := healthy(0), healthy(1), healthy(2)
+	a.MSHRPeak, a.PFAccuracy = 10, 0.9
+	b.MSHRPeak, b.PFAccuracy = 10, 0.3
+	c.MSHRPeak, c.PFAccuracy = 10, 0.6
+	ds := g.Step(5, 100000, []*obs.WindowSample{a, b, c})
+	if len(ds) != 1 || ds[0].Action != ActionKill || ds[0].Reason != "mshr-budget" || ds[0].Core != 1 {
+		t.Fatalf("decisions %+v, want one mshr-budget kill of core 1", ds)
+	}
+	if b.GovAction != ActionKill {
+		t.Errorf("core 1 sample not annotated with the kill")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config: %v", err)
+	}
+	if err := (Config{Enabled: true, Retune: true}).Validate(); err == nil {
+		t.Error("retune without addresses validated")
+	}
+	if err := (Config{Enabled: true, KillAfter: -1}).Validate(); err == nil {
+		t.Error("negative KillAfter validated")
+	}
+	ok := Config{Enabled: true, Retune: true, TooFarAddr: 1, CloseAddr: 2,
+		TooFarInit: 96, CloseInit: 48}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid retune config: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostthread/internal/core"
+	"ghostthread/internal/gov"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/mem"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/slice"
+	"ghostthread/internal/workloads"
+)
+
+// GovRow is one workload × ghost-kind comparison of the static ghost
+// against the same ghost under the adaptive governor (ghostbench
+// -experiment governor). Speedups are versus the no-helper baseline, so
+// a GovernedSpeedup ≥ 1.0 on a harmful ghost (bfs.kron's compiler
+// slice) is the governor doing its job, and GovernedSpeedup ≈
+// StaticSpeedup on a healthy ghost is the governor staying out of the
+// way.
+type GovRow struct {
+	Workload string `json:"workload"`
+	Kind     string `json:"kind"` // "manual" | "compiler"
+
+	BaselineCycles int64 `json:"baseline_cycles"`
+	StaticCycles   int64 `json:"static_cycles"`
+	GovernedCycles int64 `json:"governed_cycles"`
+
+	StaticSpeedup   float64 `json:"static_speedup"`
+	GovernedSpeedup float64 `json:"governed_speedup"`
+
+	Kills    int64 `json:"kills"`
+	Respawns int64 `json:"respawns"`
+	Retunes  int64 `json:"retunes"`
+
+	Decisions []gov.Decision `json:"decisions,omitempty"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// GovernedConfig returns cfg prepared for a governed run of a workload
+// whose sync words are counters: windowed telemetry attached (the
+// governor's input) and the default governor (kill + phase respawn)
+// enabled, with respawns re-aligning the main iteration counter.
+func GovernedConfig(cfg sim.Config, window int64, counters core.Counters) sim.Config {
+	cfg.Telemetry.WindowCycles = window
+	cfg.Telemetry.GhostCounterAddr = counters.GhostAddr
+	g := gov.Default()
+	g.MainCounterAddr = counters.MainAddr
+	cfg.Governor = g
+	return cfg
+}
+
+// BuildCompilerGhost profiles workload under cfg (memoized; telemetry,
+// governor and sampler are stripped first so profiling runs clean),
+// selects targets with the default heuristic, builds a fresh instance
+// with opts, and extracts the compiler p-slice from its annotated
+// baseline. The error reports "no targets" when the heuristic selects
+// nothing.
+func BuildCompilerGhost(workload string, cfg sim.Config, opts workloads.Options) (*workloads.Instance, *slice.Result, error) {
+	build, err := workloads.Lookup(workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	pcfg := cfg
+	pcfg.Sampler = nil
+	pcfg.Telemetry = sim.TelemetryConfig{}
+	pcfg.Governor = gov.Config{}
+	rep, err := profileWorkload(workload, build, pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets := core.SelectTargets(rep, core.DefaultHeuristicParams())
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("harness: %s: heuristic selected no targets", workload)
+	}
+	inst := build(opts)
+	ext, err := slice.ExtractWith(inst.Baseline.Main, targets, opts.Sync, inst.Counters,
+		slice.Options{AllowUnproved: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %s: extraction: %w", workload, err)
+	}
+	return inst, ext, nil
+}
+
+// GovernorExperiment runs the static-versus-governed comparison for
+// every named workload, producing one row per available ghost kind
+// (manual variant, compiler extraction). window is the telemetry window
+// W the governor decides on.
+func GovernorExperiment(names []string, cfg sim.Config, window int64) []GovRow {
+	var rows []GovRow
+	for _, name := range names {
+		if r, ok := governedManual(name, cfg, window); ok {
+			rows = append(rows, r)
+		}
+		if r, ok := governedCompiler(name, cfg, window); ok {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// runChecked restores the snapshot, runs main+helpers under cfg, and
+// verifies the workload's result.
+func runChecked(inst *workloads.Instance, snap []int64, cfg sim.Config,
+	main *isa.Program, helpers []*isa.Program, check func(*mem.Memory) error) (sim.Result, error) {
+	inst.Mem.Restore(snap)
+	res, err := sim.RunProgram(cfg, inst.Mem, main, helpers)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if err := check(inst.Mem); err != nil {
+		return sim.Result{}, fmt.Errorf("result check: %w", err)
+	}
+	return res, nil
+}
+
+// governedManual compares a workload's hand-written ghost variant
+// static versus governed. ok is false when the workload has no manual
+// ghost.
+func governedManual(name string, cfg sim.Config, window int64) (GovRow, bool) {
+	row := GovRow{Workload: name, Kind: "manual"}
+	build, err := workloads.Lookup(name)
+	if err != nil {
+		row.Err = err.Error()
+		return row, true
+	}
+	if inst := build(workloads.DefaultOptions()); inst.Ghost == nil {
+		return row, false
+	}
+
+	// The governed run needs sync tracing (the ghost publishes its
+	// iteration counter for the lead series), which changes the ghost
+	// program — so ALL three runs use the traced build, keeping the
+	// static-versus-governed comparison apples-to-apples.
+	opts := workloads.DefaultOptions()
+	opts.Sync.Trace = true
+	inst := build(opts)
+	snap := inst.Mem.Snapshot()
+
+	base, err := runChecked(inst, snap, cfg, inst.Baseline.Main, inst.Baseline.Helpers, inst.CheckFor("baseline"))
+	if err != nil {
+		row.Err = "baseline: " + err.Error()
+		return row, true
+	}
+	static, err := runChecked(inst, snap, cfg, inst.Ghost.Main, inst.Ghost.Helpers, inst.CheckFor("ghost"))
+	if err != nil {
+		row.Err = "static: " + err.Error()
+		return row, true
+	}
+	gcfg := GovernedConfig(cfg, window, inst.Counters)
+	governed, err := runChecked(inst, snap, gcfg, inst.Ghost.Main, inst.Ghost.Helpers, inst.CheckFor("ghost"))
+	if err != nil {
+		row.Err = "governed: " + err.Error()
+		return row, true
+	}
+	row.fill(base, static, governed)
+	return row, true
+}
+
+// governedCompiler compares a workload's compiler-extracted ghost
+// static versus governed (with the dynamic sync segment, so retuning is
+// live too). ok is false when the heuristic selects no targets.
+func governedCompiler(name string, cfg sim.Config, window int64) (GovRow, bool) {
+	row := GovRow{Workload: name, Kind: "compiler"}
+	build, err := workloads.Lookup(name)
+	if err != nil {
+		row.Err = err.Error()
+		return row, true
+	}
+	pcfg := cfg
+	pcfg.Sampler = nil
+	rep, err := profileWorkload(name, build, pcfg)
+	if err != nil {
+		row.Err = err.Error()
+		return row, true
+	}
+	targets := core.SelectTargets(rep, core.DefaultHeuristicParams())
+	if len(targets) == 0 {
+		return row, false
+	}
+
+	opts := workloads.DefaultOptions()
+	opts.Sync.Trace = true
+	inst := build(opts)
+	// Governor-owned dynamic sync words, appended after the image is
+	// built and seeded with the static thresholds BEFORE the snapshot,
+	// so every restore re-arms them.
+	tfAddr := inst.Mem.Grow(2)
+	clAddr := tfAddr + 1
+	inst.Mem.StoreWord(tfAddr, opts.Sync.TooFar)
+	inst.Mem.StoreWord(clAddr, opts.Sync.Close)
+	snap := inst.Mem.Snapshot()
+
+	base, err := runChecked(inst, snap, cfg, inst.Baseline.Main, inst.Baseline.Helpers, inst.CheckFor("baseline"))
+	if err != nil {
+		row.Err = "baseline: " + err.Error()
+		return row, true
+	}
+
+	// Static reference: the plain static-immediate sync segment.
+	ext, err := slice.ExtractWith(inst.Baseline.Main, targets, opts.Sync, inst.Counters,
+		slice.Options{AllowUnproved: true})
+	if err != nil {
+		row.Err = "extraction: " + err.Error()
+		return row, true
+	}
+	static, err := runChecked(inst, snap, cfg, ext.Main, []*isa.Program{ext.Ghost}, inst.Check)
+	if err != nil {
+		row.Err = "static: " + err.Error()
+		return row, true
+	}
+
+	// Governed: re-extract per-phase with the dynamic sync segment
+	// reading the governor words, and enable retuning on top of
+	// kill/respawn. The per-phase slice is the aggressive variant only a
+	// governed run can use: it halts at its region tail and counts on the
+	// governor's PC-synced respawn to re-seed it each region iteration —
+	// in exchange its target loads are true prefetches instead of the
+	// rematerialized demand loads that chain a whole-region slice to the
+	// main thread's pace.
+	dopts := opts
+	dopts.Sync.TooFarAddr = tfAddr
+	dopts.Sync.CloseAddr = clAddr
+	dext, err := slice.ExtractWith(inst.Baseline.Main, targets, dopts.Sync, inst.Counters,
+		slice.Options{AllowUnproved: true, PerPhase: true})
+	if err != nil {
+		row.Err = "dynamic extraction: " + err.Error()
+		return row, true
+	}
+	gcfg := GovernedConfig(cfg, window, inst.Counters)
+	gcfg.Governor.Retune = true
+	gcfg.Governor.TooFarAddr = tfAddr
+	gcfg.Governor.CloseAddr = clAddr
+	gcfg.Governor.TooFarInit = opts.Sync.TooFar
+	gcfg.Governor.CloseInit = opts.Sync.Close
+	// Compiler slices carry loop-carried live-ins, so respawns must wait
+	// for the region-loop header (the only point where main's registers
+	// are valid ghost entry state). With PC-synced re-seeds, phase-blind
+	// revival is safe to turn on aggressively: the decision only ARMS the
+	// trigger, and the trigger fires at the next phase boundary by
+	// construction — so workloads whose stall profile is too smooth to
+	// trip the phase detector (bfs.kron's uniform per-level shape) still
+	// get their per-phase refresh.
+	gcfg.Governor.ResyncPC = int64(dext.ResyncPC)
+	gcfg.Governor.RevivePeriod = 1
+	governed, err := runChecked(inst, snap, gcfg, dext.Main, []*isa.Program{dext.Ghost}, inst.Check)
+	if err != nil {
+		row.Err = "governed: " + err.Error()
+		return row, true
+	}
+	row.fill(base, static, governed)
+	return row, true
+}
+
+// RenderGovernor renders the static-versus-governed comparison as a
+// table, one row per (workload, ghost kind).
+func RenderGovernor(rows []GovRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-9s %12s %12s %12s %8s %8s %6s %6s %6s  %s\n",
+		"workload", "kind", "base-cyc", "static-cyc", "governed-cyc",
+		"static", "governed", "kills", "resp", "retune", "status")
+	for _, r := range rows {
+		status := "ok"
+		if r.Err != "" {
+			status = "ERROR: " + firstLine(r.Err)
+		}
+		fmt.Fprintf(&b, "%-12s %-9s %12d %12d %12d %8.3f %8.3f %6d %6d %6d  %s\n",
+			r.Workload, r.Kind, r.BaselineCycles, r.StaticCycles, r.GovernedCycles,
+			r.StaticSpeedup, r.GovernedSpeedup, r.Kills, r.Respawns, r.Retunes, status)
+	}
+	return b.String()
+}
+
+func (r *GovRow) fill(base, static, governed sim.Result) {
+	r.BaselineCycles = base.Cycles
+	r.StaticCycles = static.Cycles
+	r.GovernedCycles = governed.Cycles
+	r.StaticSpeedup = float64(base.Cycles) / float64(static.Cycles)
+	r.GovernedSpeedup = float64(base.Cycles) / float64(governed.Cycles)
+	r.Kills = governed.GovKills
+	r.Respawns = governed.GovRespawns
+	for _, d := range governed.GovDecisions {
+		if d.Action == gov.ActionRetune {
+			r.Retunes++
+		}
+	}
+	r.Decisions = governed.GovDecisions
+}

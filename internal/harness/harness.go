@@ -21,6 +21,7 @@ import (
 	"ghostthread/internal/cpu"
 	"ghostthread/internal/energy"
 	"ghostthread/internal/fault"
+	"ghostthread/internal/gov"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
 	"ghostthread/internal/profile"
@@ -88,6 +89,7 @@ type profKey struct {
 	serialStep  bool
 	fault       fault.Config
 	shadow      sim.ShadowConfig
+	governor    gov.Config
 }
 
 type profEntry struct {
@@ -132,6 +134,7 @@ func profileWorkload(workload string, build workloads.Builder, cfg sim.Config) (
 		serialStep:  cfg.SerialStep,
 		fault:       cfg.Fault,
 		shadow:      cfg.Shadow,
+		governor:    cfg.Governor,
 	}
 	profMu.Lock()
 	e := profCache[key]

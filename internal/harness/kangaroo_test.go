@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"ghostthread/internal/analysis"
+	"ghostthread/internal/isa"
+	"ghostthread/internal/lint"
+	"ghostthread/internal/sim"
+	"ghostthread/internal/slice"
+	"ghostthread/internal/workloads"
+)
+
+// Regression test for the kangaroo stale-register A→B pointer-chase bug.
+// Kangaroo's baseline annotates BOTH chase hops as targets (A[idx] and
+// B[A[idx]]); the extractor used to turn the A-hop into a bare prefetch,
+// leaving its destination register stale, so the B-hop's address came
+// from garbage — gtverify correctly flagged the slice UNPROVED and
+// gtlint warned on it. The fix rematerializes a target load whose value
+// the slice itself consumes as a demand load. This locks in the
+// mechanism (Rematerialized > 0 on this exact extraction), the verdict
+// (no UNPROVED), and the behaviour (the extracted pair still computes
+// kangaroo's sum).
+func TestKangarooCompilerSliceProved(t *testing.T) {
+	build, err := workloads.Lookup("kangaroo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := workloads.DefaultOptions()
+	inst := build(opts)
+
+	// The same target list gtlint extracts with: the baseline's [target]
+	// annotations — both hops of the chase, which is what exposes the
+	// stale-register bug (the profile heuristic may select only one).
+	targets := lint.StaticTargets(inst.Baseline.Main)
+	if len(targets) < 2 {
+		t.Fatalf("kangaroo baseline annotates %d targets, want the 2 chase hops", len(targets))
+	}
+	ext, err := slice.ExtractWith(inst.Baseline.Main, targets, opts.Sync, inst.Counters,
+		slice.Options{AllowUnproved: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Rematerialized == 0 {
+		t.Error("kangaroo slice rematerialized no loads: the stale-register chase fix regressed")
+	}
+	for _, v := range ext.Verdicts {
+		if v.Status == analysis.Unproved {
+			t.Errorf("kangaroo compiler slice UNPROVED again (spawn pc %d): %s", v.SpawnPC, v.Err)
+		}
+		for _, tv := range v.Targets {
+			if tv.Status == analysis.Unproved {
+				t.Errorf("kangaroo target pc %d UNPROVED again: %s", tv.TargetPC, tv.Reason)
+			}
+		}
+	}
+	snap := inst.Mem.Snapshot()
+	cfg := sim.DefaultConfig()
+	if _, err := runChecked(inst, snap, cfg, ext.Main, []*isa.Program{ext.Ghost}, inst.Check); err != nil {
+		t.Errorf("extracted kangaroo pair: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ var profKeyField = map[string]string{
 	"SerialStep":  "serialStep",
 	"Fault":       "fault",
 	"Shadow":      "shadow",
+	"Governor":    "governor",
 }
 
 func TestProfKeyCoversSimConfig(t *testing.T) {

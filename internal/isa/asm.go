@@ -38,6 +38,7 @@ func Dump(p *Program) string {
 			{FlagBackedge, "!backedge"},
 			{FlagSync, "!sync"},
 			{FlagSyncSkip, "!skip"},
+			{FlagGovParam, "!govparam"},
 		} {
 			if in.Flags&fl.f != 0 {
 				b.WriteByte(' ')
@@ -218,6 +219,8 @@ func parseInstrLine(line string) (int, Instr, error) {
 			in.Flags |= FlagSync
 		case last == "!skip":
 			in.Flags |= FlagSyncSkip
+		case last == "!govparam":
+			in.Flags |= FlagGovParam
 		case strings.HasPrefix(last, "@"):
 			n, err := strconv.Atoi(last[1:])
 			if err != nil {

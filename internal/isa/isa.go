@@ -177,6 +177,13 @@ const (
 	// Observability uses it to trace sync-segment skip events; skip
 	// instructions also carry FlagSync.
 	FlagSyncSkip
+	// FlagGovParam marks a synchronization-segment load that reads a
+	// governor-owned tuning word (dynamic TooFar/Close; see
+	// core.SyncParams) instead of the main thread's iteration counter.
+	// The ghost-lead observability tap keys on sync-segment counter
+	// loads, so parameter loads carry this flag to opt out; they also
+	// carry FlagSync like the rest of the segment.
+	FlagGovParam
 )
 
 // Instr is one IR instruction.
@@ -424,6 +431,9 @@ func flagString(f Flag) string {
 	}
 	if f&FlagSyncSkip != 0 {
 		parts = append(parts, "skip")
+	}
+	if f&FlagGovParam != 0 {
+		parts = append(parts, "govparam")
 	}
 	return strings.Join(parts, ",")
 }

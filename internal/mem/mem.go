@@ -58,6 +58,22 @@ func (m *Memory) CopyIn(addr int64, vs []int64) {
 	}
 }
 
+// Grow appends n zeroed words to the top of the address space and
+// returns the base address of the new region. It exists for late
+// allocations against an already-built workload image — the adaptive
+// governor's sync tuning words are carved out this way after the
+// workload builder has finished — so callers never have to thread extra
+// layout through every builder. Take any Snapshot after growing:
+// Restore requires matching sizes.
+func (m *Memory) Grow(n int64) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: grow by non-positive size %d", n))
+	}
+	base := int64(len(m.words))
+	m.words = append(m.words, make([]int64, n)...)
+	return base
+}
+
 // Snapshot returns a copy of the full memory contents, for restoring
 // with Restore. Building a workload's memory image can cost more than
 // simulating a variant on it; snapshot/restore lets one built image be

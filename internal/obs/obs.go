@@ -51,6 +51,16 @@ const (
 	// full with an uncommittable head — the paper's figure-2 full-window
 	// stall (Arg = pc of the blocking instruction).
 	KindROBStall
+	// KindGovKill: the adaptive governor retired a negative-benefit ghost
+	// (fires on the ghost context at the decision's wheel-event cycle).
+	KindGovKill
+	// KindGovRespawn: the governor re-spawned the ghost with fresh
+	// live-ins (Arg = helper id).
+	KindGovRespawn
+	// KindGovRetune: the governor republished the dynamic sync window
+	// (Arg = new TooFar; emitted by the run coordinator at a window
+	// boundary).
+	KindGovRetune
 
 	kindCount
 )
@@ -74,6 +84,12 @@ func (k Kind) String() string {
 		return "fill"
 	case KindROBStall:
 		return "rob-stall"
+	case KindGovKill:
+		return "gov-kill"
+	case KindGovRespawn:
+		return "gov-respawn"
+	case KindGovRetune:
+		return "gov-retune"
 	}
 	return "unknown"
 }

@@ -74,6 +74,25 @@ type WindowSample struct {
 	Phase         int     `json:"phase"`
 	PhaseBoundary bool    `json:"phase_boundary"`
 	PhaseDelta    float64 `json:"phase_delta"`
+
+	// HelperActive reports whether the core's ghost context was live at
+	// the window's closing flush — the adaptive governor's precondition
+	// for a kill and its cue for a re-spawn.
+	HelperActive bool `json:"helper_active,omitempty"`
+
+	// GovRespawned reports that the core executed one or more governor
+	// re-spawns during this window (PC-synchronized re-seeds fire
+	// autonomously at region-loop header crossings, between decision
+	// points) — the governor resets its warmup and kill state on seeing
+	// it, so the fresh ghost is judged as fresh.
+	GovRespawned bool `json:"gov_respawned,omitempty"`
+
+	// GovAction names the governor decision taken at this window's
+	// boundary for this core ("kill", "respawn", "retune", "defer";
+	// empty when the governor is off or made no decision), with GovArg
+	// the decision's argument (the new TooFar for a retune).
+	GovAction string `json:"gov_action,omitempty"`
+	GovArg    int64  `json:"gov_arg,omitempty"`
 }
 
 // WindowRecorder accumulates the per-event window statistics one core

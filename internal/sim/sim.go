@@ -15,6 +15,7 @@ import (
 	"ghostthread/internal/cache"
 	"ghostthread/internal/cpu"
 	"ghostthread/internal/fault"
+	"ghostthread/internal/gov"
 	"ghostthread/internal/isa"
 	"ghostthread/internal/mem"
 	"ghostthread/internal/obs"
@@ -69,6 +70,16 @@ type Config struct {
 	// windowing never disqualifies a run from parallel stepping — samples
 	// are assembled by the run coordinator at epoch-boundary flushes.
 	Telemetry TelemetryConfig
+
+	// Governor enables the online adaptive ghost governor (internal/gov,
+	// DESIGN.md §15). Requires Telemetry — the window stream is the
+	// governor's input. Unlike the pure observers above, the governor
+	// ACTS: kills, respawns and retunes perturb timing. But its decisions
+	// fire only at window-boundary flush cycles, computed by the run
+	// coordinator and applied through each core's timing wheel, so a
+	// governed run is still bit-identical across CycleStep × SerialStep ×
+	// parallel stepping and composes with fault schedules and replay.
+	Governor gov.Config
 }
 
 // TelemetryConfig configures the windowed telemetry stream.
@@ -156,6 +167,8 @@ type System struct {
 	metered []bool
 
 	tele        *telemetry
+	gov         *gov.Governor
+	govLog      []gov.Decision
 	ranParallel bool
 }
 
@@ -170,6 +183,7 @@ type telemetry struct {
 	prev      []cpu.Stats // per-core counter snapshot at the last flush
 	prevStall [][]int64   // per-core main-context stallPC copy at the last flush
 	stallBuf  []int64     // scratch delta vector, reused across flushes
+	flushBuf  []obs.WindowSample // current window's samples (governor input)
 	windows   []obs.WindowSample
 	lastFlush int64
 	windowIdx int64
@@ -221,6 +235,28 @@ func New(cfg Config, m *mem.Memory) *System {
 		}
 		if cfg.Fault.MemJitterMax > 0 {
 			s.mc.SetJitter(cfg.Fault.MemJitterMax, fault.NewStream(cfg.Fault.Seed, fault.SaltMem, 0))
+		}
+	}
+	if cfg.Governor.Enabled {
+		if err := cfg.Governor.Validate(); err != nil {
+			panic(err)
+		}
+		if !cfg.Telemetry.Enabled() {
+			panic("sim: Governor requires Telemetry (the window stream is its input)")
+		}
+		s.gov = gov.New(cfg.Governor, cfg.Cores)
+		if cfg.Governor.MainCounterAddr > 0 {
+			// Respawns re-zero core 0's main iteration counter so the
+			// fresh ghost's sync segment starts aligned (single-core
+			// governed runs; multi-core workloads own distinct counters
+			// and forgo the reset).
+			s.cores[0].SetGovCounter(cfg.Governor.MainCounterAddr)
+		}
+		if cfg.Governor.ResyncPC > 0 {
+			// PC-synchronized respawn: re-seeds wait for core 0's main
+			// thread to dispatch the region-loop header (see
+			// cpu.Core.SetGovResync).
+			s.cores[0].SetGovResync(cfg.Governor.ResyncPC, cfg.Governor.RespawnCap())
 		}
 	}
 	return s
@@ -344,6 +380,16 @@ type Result struct {
 	// order. Everything else in Result is bit-identical with telemetry on
 	// or off — the differential suites zero this field and DeepEqual.
 	Windows []obs.WindowSample
+
+	// GovDecisions is the governor's decision log (empty when
+	// Config.Governor is off), in (window, core) order. Deterministic:
+	// identical across stepping modes and under replay.
+	GovDecisions []gov.Decision
+
+	// GovKills/GovRespawns count applied governor ghost retirements and
+	// re-spawns, summed over cores.
+	GovKills    int64
+	GovRespawns int64
 }
 
 // PrefetchAccuracy is the fraction of executed software prefetches a
@@ -433,12 +479,21 @@ func (s *System) Run() (Result, error) {
 // on the coordinator after the epoch barrier — so the sample stream is
 // bit-identical across stepping modes and observation never perturbs the
 // simulation (reads only; the cores never see the aggregation state).
+//
+// When the governor is attached, the window's samples are staged, judged
+// (gov.Governor.Step annotates them with the decisions taken), and the
+// decisions applied — kills and respawns through each core's timing
+// wheel for the next stepped cycle, retunes as direct stores to the
+// governor-owned sync words — before the annotated samples are appended
+// and sunk. Decisions therefore land at window-boundary cycles only,
+// which every stepping mode steps on, preserving bit-identity.
 func (s *System) flushWindows() {
 	t := s.tele
 	start, end := t.lastFlush, s.now
 	if end <= start {
 		return
 	}
+	t.flushBuf = t.flushBuf[:0]
 	for i, c := range s.cores {
 		st := c.Stats()
 		prev := &t.prev[i]
@@ -469,6 +524,10 @@ func (s *System) flushWindows() {
 		}
 		t.wrec[i].Drain(&ws)
 		ws.LQ = c.Sample().LQ[0]
+		ws.HelperActive = c.HelperActive()
+		// PC-synchronized re-seeds fire between decision points; surface
+		// them so the governor re-judges the fresh ghost from scratch.
+		ws.GovRespawned = st.GovRespawns > prev.GovRespawns
 
 		// Phase detection over the main context's stall-attribution delta.
 		stall, _ := c.PCProfile(0)
@@ -492,6 +551,12 @@ func (s *System) flushWindows() {
 		copy(t.prevStall[i], stall)
 
 		*prev = st
+		t.flushBuf = append(t.flushBuf, ws)
+	}
+	if s.gov != nil {
+		s.governWindow()
+	}
+	for _, ws := range t.flushBuf {
 		t.windows = append(t.windows, ws)
 		if s.cfg.Telemetry.Sink != nil {
 			s.cfg.Telemetry.Sink(ws)
@@ -499,6 +564,39 @@ func (s *System) flushWindows() {
 	}
 	t.lastFlush = end
 	t.windowIdx++
+}
+
+// governWindow feeds the just-closed window's samples to the governor
+// and applies its decisions. Kills and respawns are scheduled on each
+// core's timing wheel (they fire at the next stepped cycle, exactly like
+// the fault injector's triggers); retunes store the new throttle window
+// into the governor-owned sync words, which the dynamic sync segment
+// reads on its next check. All of it runs on the coordinator between
+// epochs, at the same cycle in every stepping mode.
+func (s *System) governWindow() {
+	t := s.tele
+	refs := make([]*obs.WindowSample, len(t.flushBuf))
+	for i := range t.flushBuf {
+		refs[i] = &t.flushBuf[i]
+	}
+	decisions := s.gov.Step(t.windowIdx, s.now, refs)
+	for _, d := range decisions {
+		c := s.cores[d.Core]
+		switch d.Action {
+		case gov.ActionKill:
+			if !c.Done() {
+				c.ScheduleGovKill()
+			}
+		case gov.ActionRespawn:
+			if !c.Done() {
+				c.ScheduleGovRespawn()
+			}
+		case gov.ActionRetune:
+			s.mem.StoreWord(s.cfg.Governor.TooFarAddr, d.TooFar)
+			s.mem.StoreWord(s.cfg.Governor.CloseAddr, d.Close)
+		}
+	}
+	s.govLog = append(s.govLog, decisions...)
 }
 
 // parallelOK reports whether this run may use the epoch-parallel worker
@@ -554,6 +652,8 @@ func (s *System) collect() (Result, error) {
 		}
 		res.Fault.Add(c.FaultStats())
 		res.Shadow.Add(c.ShadowStats())
+		res.GovKills += c.GovKills
+		res.GovRespawns += c.GovRespawns
 	}
 	res.MainCommitted = s.cores[0].Committed(0)
 	for _, c := range s.cores {
@@ -570,6 +670,7 @@ func (s *System) collect() (Result, error) {
 	if s.tele != nil {
 		res.Windows = s.tele.windows
 	}
+	res.GovDecisions = s.govLog
 	return res, nil
 }
 

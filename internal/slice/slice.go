@@ -20,9 +20,13 @@
 // copy. Exactly like the paper's LLVM pass, the result keeps
 // "difficult-to-remove, unnecessary control flow" and the irrelevant
 // instructions it depends on — compiler ghosts run more instructions than
-// manual ones, and with stale loop-carried registers they can issue
-// useless prefetches or even fault, which is the behaviour the paper
-// reports (§6.1).
+// manual ones. One class of staleness IS repaired: a target load whose
+// value feeds the slice itself (a loop-carried pointer-chase hop, a
+// frontier-advance branch) is kept as a demand load instead of a bare
+// prefetch, so the ghost's own dataflow stays live (see
+// Result.Rematerialized). Live-ins that main recomputes after spawn
+// (per-level loop bounds, frontier pointers) still go stale — catching
+// that at runtime is the adaptive governor's job (internal/gov).
 package slice
 
 import (
@@ -53,6 +57,23 @@ type Options struct {
 	// failing. The default (false) rejects UNPROVED slices with
 	// ErrUnproved — an unproven ghost can prefetch garbage.
 	AllowUnproved bool
+
+	// PerPhase cuts the region loop's backedge out of the ghost: the
+	// slice covers ONE region iteration (one BFS level, one join
+	// partition) and then halts, relying on the adaptive governor's
+	// PC-synchronized respawn (gov.Config.ResyncPC) to re-seed it with
+	// fresh live-ins at every region-header crossing. Dropping the
+	// region-carried state has a compounding payoff: the tail that
+	// recomputes next-iteration state goes away, the now-dead guards
+	// around it are elided, and target loads whose values only fed that
+	// chain (bfs's frontier-advance count) become true prefetches
+	// instead of rematerialized demand loads — the difference between a
+	// lockstep shadow that can never lead and a helper that actually
+	// covers misses. A no-op when the region loop has no inner loops
+	// (nothing outer to re-seed per-iteration). Only meaningful under a
+	// governed run; an unmanaged per-phase ghost dies after one region
+	// iteration and never comes back.
+	PerPhase bool
 }
 
 // Result is the output of an extraction.
@@ -64,6 +85,25 @@ type Result struct {
 	TargetLoop int // loop ID of the synchronised target loop
 	Kept       int // region instructions kept in the ghost
 	Dropped    int // region instructions dropped (stores, dead value code)
+
+	// Rematerialized counts target loads kept as demand loads instead of
+	// prefetches because their value feeds the slice itself (loop-carried
+	// pointer-chase hops, frontier-advance branches). A bare prefetch
+	// there would leave the destination register stale and derail the
+	// ghost's own control flow / address stream.
+	Rematerialized int
+
+	// ResyncPC is the rewritten main's PC of the region loop's header:
+	// the one point main revisits (once per outer iteration — a BFS
+	// level, a join partition) at which its register state is a valid
+	// ghost entry state. The adaptive governor's respawn fires when main
+	// dispatches this PC, giving a phase-stale slice fresh live-ins
+	// exactly at the phase boundary (gov.Config.ResyncPC).
+	ResyncPC int
+
+	// PerPhase reports that the per-phase cut was actually applied (the
+	// option was set AND the region had an inner-loop tail to cut at).
+	PerPhase bool
 
 	// Verdicts holds the translation-validation results for the extracted
 	// pair, one per spawn site (see analysis.VerifyHelper).
@@ -110,8 +150,27 @@ func ExtractWith(base *isa.Program, targets []core.Target, params core.SyncParam
 		return nil, fmt.Errorf("%w: no target loads inside region of %q", ErrUnsliceable, base.Name)
 	}
 
-	res := &Result{RegionLoop: region, TargetLoop: targetLoop}
-	ghost, err := buildGhost(base, head, end, targetPCs, syncAfter, params, ctr, res)
+	// Per-phase extraction: cut the ghost off at the region tail — the
+	// code after the last inner loop that recomputes next-iteration state
+	// (frontier swap, level advance) — so the slice covers exactly one
+	// region iteration and halts. With no next iteration, that state (and
+	// everything feeding it) is dead. Degenerates to the classic whole-
+	// region slice when the region has no inner loops.
+	cut := end
+	if opts.PerPhase {
+		tail := head
+		for _, l := range base.Loops {
+			if l.Parent == region && l.End > tail {
+				tail = l.End
+			}
+		}
+		if tail > head {
+			cut = tail
+		}
+	}
+
+	res := &Result{RegionLoop: region, TargetLoop: targetLoop, PerPhase: cut < end}
+	ghost, err := buildGhost(base, head, end, cut, targetPCs, syncAfter, params, ctr, res)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +185,7 @@ func ExtractWith(base *isa.Program, targets []core.Target, params core.SyncParam
 	}
 	res.Main = main
 	res.Ghost = ghost
+	res.ResyncPC = main.Loops[region].Head
 
 	// Translation validation: prove the ghost's prefetch addresses replay
 	// the main thread's demand stream (analysis/transval.go). UNPROVED
@@ -151,13 +211,21 @@ func ExtractWith(base *isa.Program, targets []core.Target, params core.SyncParam
 }
 
 // buildGhost duplicates the region [head, end) into a ghost program.
-func buildGhost(base *isa.Program, head, end int, targetPCs map[int]bool, syncAfter int,
+// cut == end slices the whole region; cut < end is the per-phase mode
+// (instructions in [cut, end) — the region tail and backedge — are
+// excluded, so the ghost falls through to its halt after one region
+// iteration).
+func buildGhost(base *isa.Program, head, end, cut int, targetPCs map[int]bool, syncAfter int,
 	params core.SyncParams, ctr core.Counters, res *Result) (*isa.Program, error) {
 
-	include := computeSlice(base, head, end, targetPCs)
+	include, needed := computeSlice(base, head, end, cut, targetPCs)
 
 	maxReg := MaxRegUsed(base)
-	if maxReg+12 > isa.NumRegs {
+	syncRegs := core.SyncRegs
+	if params.Dynamic() {
+		syncRegs = core.DynamicSyncRegs
+	}
+	if maxReg+syncRegs+4 > isa.NumRegs {
 		return nil, fmt.Errorf("%w: %q uses %d registers; no space for sync state", ErrUnsliceable, base.Name, maxReg)
 	}
 
@@ -172,6 +240,12 @@ func buildGhost(base *isa.Program, head, end int, targetPCs map[int]bool, syncAf
 	exit := b.NewLabel()
 	labelFor := func(t int) isa.Label {
 		if t < head || t >= end {
+			return exit
+		}
+		if cut < end && t == head {
+			// Per-phase: a branch back to the region header would re-enter
+			// the region with its (dropped) tail state stale — the slice
+			// ends here; the governor re-seeds it at the next crossing.
 			return exit
 		}
 		l, ok := labels[t]
@@ -199,7 +273,19 @@ func buildGhost(base *isa.Program, head, end int, targetPCs map[int]bool, syncAf
 			res.Dropped++
 			continue
 		case targetPCs[pc]:
-			b.Prefetch(in.Src1, in.Imm)
+			if needed[in.Dst] {
+				// The target's value feeds kept code downstream (a
+				// pointer-chase hop register, a frontier branch): a bare
+				// prefetch would leave the register stale and derail the
+				// slice's own dataflow. Re-materialize it as a demand load —
+				// it warms the shared cache exactly like the prefetch would,
+				// and keeps the loop-carried chain live (this is what
+				// hand-built chase ghosts do).
+				b.Load(in.Dst, in.Src1, in.Imm)
+				res.Rematerialized++
+			} else {
+				b.Prefetch(in.Src1, in.Imm)
+			}
 			res.Kept++
 			if pc == syncAfter {
 				core.EmitSync(b, st, nil)
@@ -221,10 +307,20 @@ func buildGhost(base *isa.Program, head, end int, targetPCs map[int]bool, syncAf
 // computeSlice returns, per region offset, whether the instruction is
 // kept: all control flow, the backward closure of branch operands and
 // target addresses; stores and atomics are always dropped (the ghost must
-// not modify application state).
-func computeSlice(base *isa.Program, head, end int, targetPCs map[int]bool) []bool {
+// not modify application state). The needed set (registers some kept
+// instruction reads) is also returned so the builder can detect target
+// loads whose value the slice itself consumes.
+//
+// cut < end selects the per-phase mode: instructions in [cut, end) are
+// never kept, and forward branches guarding nothing that survived (a
+// frontier-count increment whose sum only fed the dropped tail) are
+// elided and the closure re-derived — it is this elision that frees
+// target loads from phantom consumers and lets them become true
+// prefetches.
+func computeSlice(base *isa.Program, head, end, cut int, targetPCs map[int]bool) ([]bool, map[isa.Reg]bool) {
 	n := end - head
 	include := make([]bool, n)
+	elided := make([]bool, n)
 	needed := map[isa.Reg]bool{}
 
 	markSrcs := func(in *isa.Instr) {
@@ -237,40 +333,83 @@ func computeSlice(base *isa.Program, head, end int, targetPCs map[int]bool) []bo
 		}
 	}
 
-	// Iterate to a fixed point: needs flow backwards around loops.
-	for changed := true; changed; {
-		changed = false
-		for pc := end - 1; pc >= head; pc-- {
-			i := pc - head
-			if include[i] {
-				continue
-			}
-			in := &base.Code[pc]
-			keep := false
-			switch {
-			case in.Op == isa.OpStore || in.Op == isa.OpAtomicAdd:
-				keep = false // never: ghost threads are read-only
-			case in.Op.IsBranch() || in.Op == isa.OpHalt:
-				keep = true
-			case targetPCs[pc]:
-				keep = true
-			case in.Op == isa.OpSpawn || in.Op == isa.OpJoin || in.Op == isa.OpSerialize:
-				keep = false
-			case in.Op.HasDst() && needed[in.Dst]:
-				keep = true
-			}
-			if keep {
-				include[i] = true
-				changed = true
-				if targetPCs[pc] {
-					needed[in.Src1] = true // only the address matters
-				} else {
-					markSrcs(in)
+	derive := func() {
+		// Iterate to a fixed point: needs flow backwards around loops.
+		for changed := true; changed; {
+			changed = false
+			for pc := end - 1; pc >= head; pc-- {
+				i := pc - head
+				if include[i] || elided[i] || pc >= cut {
+					continue
+				}
+				in := &base.Code[pc]
+				keep := false
+				switch {
+				case in.Op == isa.OpStore || in.Op == isa.OpAtomicAdd:
+					keep = false // never: ghost threads are read-only
+				case in.Op.IsBranch() || in.Op == isa.OpHalt:
+					keep = true
+				case targetPCs[pc]:
+					keep = true
+				case in.Op == isa.OpSpawn || in.Op == isa.OpJoin || in.Op == isa.OpSerialize:
+					keep = false
+				case in.Op.HasDst() && needed[in.Dst]:
+					keep = true
+				}
+				if keep {
+					include[i] = true
+					changed = true
+					if targetPCs[pc] {
+						needed[in.Src1] = true // only the address matters
+					} else {
+						markSrcs(in)
+					}
 				}
 			}
 		}
 	}
-	return include
+
+	derive()
+	for cut < end {
+		// Elide kept forward branches whose span holds no surviving
+		// instruction: with the guarded code dead, the guard is dead too,
+		// and so are its operands' producers. Each elision can expose
+		// more (a branch over a now-empty span), so re-derive from
+		// scratch until no branch falls.
+		any := false
+		for pc := head; pc < cut; pc++ {
+			i := pc - head
+			if !include[i] || !base.Code[pc].Op.IsBranch() {
+				continue
+			}
+			t := int(base.Code[pc].Target)
+			if t <= pc {
+				continue // backward branch: a loop, never dead
+			}
+			if t > end {
+				t = end // branch to exit == fallthrough past the halt
+			}
+			empty := true
+			for q := pc + 1; q < t; q++ {
+				if include[q-head] {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				elided[i] = true
+				include[i] = false
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		clear(include)
+		clear(needed)
+		derive()
+	}
+	return include, needed
 }
 
 // rewriteMain inserts the counter prologue, the per-iteration counter
